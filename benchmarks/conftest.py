@@ -1,0 +1,21 @@
+"""pytest-benchmark configuration for the experiment harness.
+
+Every experiment is deterministic in *simulated cycles*; the benchmark
+layer measures the wall-clock cost of regenerating each table/figure
+row and — more importantly — prints the paper-style rows as it goes, so
+``pytest benchmarks/ --benchmark-only`` regenerates every result.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: regenerates a table/figure from the paper"
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_bench_options():
+    """One round, no warmup: these are macro-benchmarks."""
+    return {"iterations": 1, "rounds": 1, "warmup_rounds": 0}

@@ -1,0 +1,56 @@
+"""Benchmark: ablation sweeps for the design choices DESIGN.md lists."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.paper
+def test_trace_threshold_sweep(benchmark, fast_bench_options, capsys):
+    results = benchmark.pedantic(
+        ablations.trace_threshold_sweep, **fast_bench_options
+    )
+    with capsys.disabled():
+        print()
+        for threshold, value in results.items():
+            print("  threshold=%4d  %.3f" % (threshold, value))
+    # an extreme threshold must not beat every moderate one: the sweep
+    # has a sweet spot (the counting/coverage tradeoff is real)
+    assert min(results[20], results[80]) <= results[320] + 0.05
+
+
+@pytest.mark.paper
+def test_cache_limit_sweep(benchmark, fast_bench_options, capsys):
+    results = benchmark.pedantic(ablations.cache_limit_sweep, **fast_bench_options)
+    with capsys.disabled():
+        print()
+        for limit, value in results.items():
+            print("  limit=%-9s %.3f" % (limit, value))
+    # unlimited cache (the paper's configuration) is never worse than
+    # the absurdly small cache
+    assert results[None] <= results[1536]
+
+
+@pytest.mark.paper
+def test_dispatch_targets_sweep(benchmark, fast_bench_options, capsys):
+    results = benchmark.pedantic(
+        ablations.dispatch_targets_sweep, **fast_bench_options
+    )
+    with capsys.disabled():
+        print()
+        for n, value in results.items():
+            print("  max_targets=%d  %.3f" % (n, value))
+    # some dispatch beats none on the indirect-heavy benchmark
+    assert min(results[2], results[4]) < results[0]
+
+
+@pytest.mark.paper
+def test_custom_trace_size_sweep(benchmark, fast_bench_options, capsys):
+    results = benchmark.pedantic(
+        ablations.custom_trace_size_sweep, **fast_bench_options
+    )
+    with capsys.disabled():
+        print()
+        for size, value in results.items():
+            print("  max_blocks=%2d  %.3f" % (size, value))
+    assert all(v > 0.5 for v in results.values())

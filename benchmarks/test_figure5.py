@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 5 (normalized time per benchmark/client).
+
+The full 22-benchmark x 6-configuration sweep is expensive; the default
+bench target runs a representative subset covering every behavior class
+(FP stencil, INT indirect-heavy, call-heavy, short-run).  Run
+``python -m repro.experiments.figure5 small`` for the complete figure.
+"""
+
+import pytest
+
+from repro.experiments import figure5
+
+# One representative per behavior class keeps the bench affordable.
+SUBSET = ["mgrid", "parser", "crafty", "gcc", "swim", "vortex"]
+
+
+@pytest.mark.paper
+def test_figure5_subset(benchmark, fast_bench_options, capsys):
+    # "small" scale: the adaptive clients need enough run length to
+    # amortize profiling and rewriting (matches the reported figure).
+    results = benchmark.pedantic(
+        figure5.run,
+        kwargs={"scale": "small", "benchmarks": SUBSET},
+        **fast_bench_options,
+    )
+    with capsys.disabled():
+        print()
+        header = "%-10s" + " %8s" * len(figure5.CONFIGS)
+        row = "%-10s" + " %8.3f" * len(figure5.CONFIGS)
+        print(header % (("benchmark",) + tuple(k for k, _ in figure5.CONFIGS)))
+        for name in results:
+            print(row % ((name,) + tuple(results[name][k] for k, _ in figure5.CONFIGS)))
+
+    # Paper-shape assertions on the subset:
+    # RLR is strongest on the FP stencils.
+    assert results["mgrid"]["rlr"] < results["mgrid"]["base"]
+    assert results["swim"]["rlr"] < results["swim"]["base"]
+    # Indirect dispatch wins on the indirect-heavy INT benchmark.
+    assert results["parser"]["ibdisp"] < results["parser"]["base"]
+    # gcc (short runs, little reuse) gains nothing from optimization.
+    assert results["gcc"]["all"] > 0.95 * results["gcc"]["base"]
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("name", SUBSET)
+def test_figure5_benchmark_row(benchmark, fast_bench_options, name):
+    result = benchmark.pedantic(
+        figure5.run,
+        kwargs={"scale": "test", "benchmarks": [name]},
+        **fast_bench_options,
+    )
+    row = result[name]
+    assert set(row) == {k for k, _ in figure5.CONFIGS}
+    for value in row.values():
+        assert value > 0.5

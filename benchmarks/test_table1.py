@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table 1 (mechanism ladder on crafty and vpr).
+
+Run with ``pytest benchmarks/test_table1.py --benchmark-only``.
+Each bench measures one row of the ladder and asserts the paper's
+ordering; the printed table is the deliverable.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.harness import normalized_time
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("label,config", table1.ROWS, ids=[r[0] for r in table1.ROWS])
+def test_table1_row(benchmark, fast_bench_options, label, config):
+    result = benchmark.pedantic(
+        lambda: {
+            name: normalized_time(name, "test", config)
+            for name in table1.BENCHMARKS
+        },
+        **fast_bench_options,
+    )
+    print("\n%-26s crafty=%.1f vpr=%.1f" % (label, result["crafty"], result["vpr"]))
+    for value in result.values():
+        assert value > 0.9  # a translator never beats native with no client
+
+
+@pytest.mark.paper
+def test_table1_full(benchmark, fast_bench_options, capsys):
+    results = benchmark.pedantic(table1.run, args=("test",), **fast_bench_options)
+    with capsys.disabled():
+        print()
+        table1.main("test")
+    emulation = results["Emulation"]
+    bb = results["+ Basic block cache"]
+    direct = results["+ Link direct branches"]
+    indirect = results["+ Link indirect branches"]
+    traces = results["+ Traces"]
+    for name in table1.BENCHMARKS:
+        assert emulation[name] > bb[name] > direct[name] > indirect[name]
+        assert traces[name] <= direct[name]
+        assert emulation[name] > 100  # "several hundred"

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table 2 (decode+encode per level).
+
+This is the one table that *is* a microbenchmark: pytest-benchmark
+times the decode+encode of the suite's basic blocks at each level.
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return table2.collect_blocks("test", limit=300)
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("level", range(5))
+def test_table2_level(benchmark, blocks, level):
+    def decode_encode_all():
+        for pc, raw in blocks:
+            table2.process_block_at_level(raw, pc, level)
+
+    benchmark(decode_encode_all)
+
+
+@pytest.mark.paper
+def test_table2_full(benchmark, fast_bench_options, capsys):
+    results = benchmark.pedantic(
+        table2.run, kwargs={"scale": "test", "repeats": 1, "limit": 300},
+        **fast_bench_options,
+    )
+    with capsys.disabled():
+        print()
+        print("Table 2 (measured):")
+        for level in range(5):
+            t, m = results[level]
+            print("  level %d: %8.2f us  %10.1f bytes" % (level, t, m))
+    # the paper's claims: monotone time, big 0->4 spread, memory steps.
+    # Levels 1 and 2 are close by design (the level-2 decode adds only
+    # the opcode/eflags table walk), so allow measurement noise there.
+    times = [results[level][0] for level in range(5)]
+    memories = [results[level][1] for level in range(5)]
+    assert times[0] < times[1]
+    assert times[1] <= times[2] * 1.4
+    assert times[2] < times[3] * 1.2
+    assert times[3] < times[4]
+    assert times[4] / times[0] > 10
+    assert memories[0] < memories[1]
+    assert abs(memories[1] - memories[2]) / memories[1] < 0.05
+    assert memories[3] > memories[2]

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Section 4.4 walkthrough: custom call-inlining traces.
+
+Shows the custom trace interface: dr_mark_trace_head on call sites plus
+dynamorio_end_trace ending traces one block after a return, with the
+return removed entirely under the calling-convention assumption.
+"""
+
+from repro.api.dr import dr_get_log
+from repro.clients import CustomTraces
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.workloads import load_benchmark
+
+
+def main():
+    image = load_benchmark("crafty", 2)
+    native = run_native(Process(image))
+
+    base = DynamoRIO(Process(image), options=RuntimeOptions.with_traces()).run()
+    client = CustomTraces()
+    custom = DynamoRIO(
+        Process(image), options=RuntimeOptions.with_traces(), client=client
+    ).run()
+    assert custom.output == native.output == base.output
+
+    print("crafty (recursion-heavy chess kernel)")
+    print("native cycles:     %9d" % native.cycles)
+    print("base DynamoRIO:    %9d  (%.3fx)" % (base.cycles, base.cycles / native.cycles))
+    print("custom traces:     %9d  (%.3fx)" % (custom.cycles, custom.cycles / native.cycles))
+    print()
+    print("traces built:   %d -> %d" % (base.events["traces_built"], custom.events["traces_built"]))
+    print(
+        "return checks executed: %d -> %d"
+        % (base.events["inline_check_hits"], custom.events["inline_check_hits"])
+    )
+    print("client log: %s" % "; ".join(dr_get_log(client)))
+
+
+if __name__ == "__main__":
+    main()

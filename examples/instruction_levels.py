@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Figure 2 reproduction: one instruction sequence at all five levels.
+
+Uses the exact IA-32 byte sequence from the paper's Figure 2 (which is
+also valid RIO-32 — the ISA was modeled to make this true) and prints
+the representation at each level of detail, including the eflags
+annotations in the paper's W/R notation.
+"""
+
+from repro.ir.instr import Instr
+from repro.ir.levels import LEVEL_NAMES
+from repro.isa.decoder import decode_boundary
+from repro.isa.eflags import eflags_to_string
+
+# lea; mov; sub; movzx; shl; cmp; jnl — the paper's Figure 2 bytes.
+FIGURE2 = bytes.fromhex("8d34018b460c2b461c0fb74e08c1e1073bc10f8da20a0000")
+BASE_PC = 0x77F51864  # arbitrary, keeps the jnl target interesting
+
+
+def boundaries():
+    out = []
+    off = 0
+    while off < len(FIGURE2):
+        n = decode_boundary(FIGURE2, off)
+        out.append((off, n))
+        off += n
+    return out
+
+
+def show_level0():
+    print("=" * 66)
+    print(LEVEL_NAMES[0])
+    bundle = Instr.bundle(FIGURE2, BASE_PC)
+    print("  raw bits: %s" % bundle.raw.hex(" "))
+    print("  (%d bytes, only the final boundary recorded)" % len(bundle.raw))
+
+
+def show_level1():
+    print("=" * 66)
+    print(LEVEL_NAMES[1])
+    for off, n in boundaries():
+        print("  %-22s" % FIGURE2[off : off + n].hex(" "))
+
+
+def show_level2():
+    print("=" * 66)
+    print(LEVEL_NAMES[2])
+    print("  %-22s %-8s %s" % ("raw bits", "opcode", "eflags"))
+    for off, n in boundaries():
+        instr = Instr.from_raw(FIGURE2[off : off + n], BASE_PC + off)
+        print(
+            "  %-22s %-8s %s"
+            % (
+                instr.raw.hex(" "),
+                instr.info.name,
+                eflags_to_string(instr.eflags),
+            )
+        )
+
+
+def show_level3():
+    print("=" * 66)
+    print(LEVEL_NAMES[3])
+    print("  %-22s %-34s %s" % ("raw bits", "opcode + operands", "eflags"))
+    for off, n in boundaries():
+        instr = Instr.from_raw(FIGURE2[off : off + n], BASE_PC + off)
+        instr.srcs  # decode fully; raw bits stay valid
+        assert instr.raw_bits_valid()
+        print(
+            "  %-22s %-34s %s"
+            % (instr.raw.hex(" "), instr.disassemble(), eflags_to_string(instr.eflags))
+        )
+
+
+def show_level4():
+    print("=" * 66)
+    print(LEVEL_NAMES[4])
+    print("  %-22s %-34s %s" % ("raw bits", "opcode + operands", "eflags"))
+    for off, n in boundaries():
+        instr = Instr.from_raw(FIGURE2[off : off + n], BASE_PC + off)
+        # modify a register operand: esi -> edi, like the paper's figure
+        from repro.isa.operands import RegOperand
+        from repro.isa.registers import Reg
+
+        for i, op in enumerate(instr.srcs):
+            if op.is_mem() and op.base == Reg.ESI:
+                from repro.isa.operands import MemOperand
+
+                instr.set_src(
+                    i,
+                    MemOperand(
+                        base=Reg.EDI,
+                        index=op.index,
+                        scale=op.scale,
+                        disp=op.disp,
+                        size=op.size,
+                    ),
+                )
+        print(
+            "  %-22s %-34s %s"
+            % (
+                "(invalid)" if not instr.raw_bits_valid() else instr.raw.hex(" "),
+                instr.disassemble(),
+                eflags_to_string(instr.eflags),
+            )
+        )
+
+
+def main():
+    show_level0()
+    show_level1()
+    show_level2()
+    show_level3()
+    show_level4()
+    print("=" * 66)
+
+
+if __name__ == "__main__":
+    main()

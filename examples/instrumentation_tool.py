@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Non-optimization use of the client interface (paper Sections 1, 7).
+
+Builds a small profiling tool out of two clients: a dynamic instruction
+counter (clean call per block) and an opcode-mix histogram (collected
+at build time, zero execution overhead) — run over a real workload.
+"""
+
+from repro.clients import CombinedClient, InstructionCounter, OpcodeProfiler
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.workloads import benchmark, load_benchmark
+
+
+def main(name="parser"):
+    bench = benchmark(name)
+    image = load_benchmark(name, "test")
+    native = run_native(Process(image))
+
+    counter = InstructionCounter()
+    profiler = OpcodeProfiler()
+    runtime = DynamoRIO(
+        Process(image),
+        options=RuntimeOptions.with_traces(),
+        client=CombinedClient([counter, profiler]),
+    )
+    result = runtime.run()
+    assert result.output == native.output
+
+    print("profiling %s: %s" % (bench.name, bench.description))
+    print("dynamic instructions: %d" % counter.executed)
+    print("static opcode mix (top 10, from basic-block building):")
+    total = sum(profiler.block_opcodes.values())
+    for opname, count in profiler.block_opcodes.most_common(10):
+        print("  %-8s %6d  (%4.1f%%)" % (opname, count, 100.0 * count / total))
+    print(
+        "instrumentation overhead: %.2fx native"
+        % (result.cycles / native.cycles)
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "parser")

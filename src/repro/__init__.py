@@ -1,0 +1,34 @@
+"""Reproduction of "An Infrastructure for Adaptive Dynamic Optimization"
+(Bruening, Garnett, Amarasinghe — CGO 2003).
+
+Public API surface:
+
+* :class:`repro.core.DynamoRIO`, :class:`repro.core.RuntimeOptions` —
+  the runtime;
+* :class:`repro.api.Client` and :mod:`repro.api.dr` — the client
+  interface;
+* :mod:`repro.clients` — the paper's sample optimizations;
+* :func:`repro.minicc.compile_source`, :class:`repro.loader.Process`,
+  :func:`repro.machine.interp.run_native` — building and running
+  programs;
+* :mod:`repro.workloads` and :mod:`repro.experiments` — the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import Client
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.cost import CostModel, Family
+from repro.minicc import compile_source
+
+__all__ = [
+    "Client",
+    "DynamoRIO",
+    "RuntimeOptions",
+    "Process",
+    "CostModel",
+    "Family",
+    "compile_source",
+    "__version__",
+]

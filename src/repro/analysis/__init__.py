@@ -1,0 +1,22 @@
+"""Dataflow analyses over linear instruction streams.
+
+The paper's single-entry/multiple-exit restriction is what makes these
+analyses linear scans rather than fixed-point iterations — this package
+is the demonstration of that claim.  Used by the optimization clients
+(flags-liveness scans) and by instrumentation clients that need to
+insert flag-writing code without saving eflags.
+"""
+
+from repro.analysis.liveness import (
+    eflags_dead_before,
+    find_dead_flags_point,
+    instr_use_def,
+    registers_written_before_read,
+)
+
+__all__ = [
+    "eflags_dead_before",
+    "find_dead_flags_point",
+    "instr_use_def",
+    "registers_written_before_read",
+]

@@ -1,0 +1,116 @@
+"""Liveness on linear streams: eflags and registers.
+
+All analyses are *forward scans with conservative exits*: any control
+transfer that can leave the fragment (an exit CTI, an indirect branch,
+a call, a clean call) is assumed to expose every flag and register to
+unknown code.  On a linear InstrList this makes each query a single
+O(n) walk — the efficiency the paper buys with its single-entry,
+multiple-exit restriction.
+"""
+
+from repro.isa.eflags import EFLAGS_READ_ALL, EFLAGS_WRITE_ALL, writes_to_reads
+from repro.isa.operands import MemOperand, RegOperand
+
+
+def _is_barrier(instr):
+    """Instructions past which liveness is unknowable."""
+    if isinstance(instr.note, dict) and instr.note.get("clean_call"):
+        return True
+    return instr.is_cti() or instr.is_exit_cti
+
+
+def instr_use_def(instr):
+    """``(regs_read, regs_written)`` for one instruction.
+
+    Address registers of memory operands count as reads; memory
+    contents are not tracked here.
+    """
+    reads = set()
+    writes = set()
+    for op in instr.srcs:
+        if isinstance(op, RegOperand):
+            reads.add(op.reg)
+        elif isinstance(op, MemOperand):
+            reads.update(op.address_registers())
+    for op in instr.dsts:
+        if isinstance(op, RegOperand):
+            writes.add(op.reg)
+        elif isinstance(op, MemOperand):
+            reads.update(op.address_registers())
+    return reads, writes
+
+
+def eflags_dead_before(ilist, where):
+    """Whether all six arithmetic flags are dead just before ``where``.
+
+    Dead means: scanning forward from ``where``, every flag is written
+    (without first being read) before any barrier.  This is the general
+    form of the Figure 3 client's CF scan.
+    """
+    needed = EFLAGS_WRITE_ALL
+    node = where
+    while node is not None:
+        # clean-call pseudos are LABEL-opcode: test barriers first
+        if isinstance(node.note, dict) and node.note.get("clean_call"):
+            return False
+        if not node.is_label():
+            effects = node.eflags
+            if effects & EFLAGS_READ_ALL:
+                # a flag still needed is read: live
+                reads = effects & EFLAGS_READ_ALL
+                if writes_to_reads(needed) & reads:
+                    return False
+            needed &= ~(effects & EFLAGS_WRITE_ALL)
+            if needed == 0:
+                return True
+            if _is_barrier(node):
+                return False
+        node = node.next
+    return False
+
+
+def find_dead_flags_point(ilist):
+    """First instruction in the list before which eflags are dead.
+
+    Returns the Instr (insert before it), or None when no such point
+    exists.  Instrumentation clients use this to place flag-writing
+    counters without an eflags save/restore.
+    """
+    for instr in ilist:
+        if instr.is_label():
+            continue
+        if eflags_dead_before(ilist, instr):
+            return instr
+        if _is_barrier(instr):
+            return None
+    return None
+
+
+def registers_written_before_read(ilist, where):
+    """Registers provably dead just before ``where``: written (without
+    an earlier read) before any barrier on the forward scan.
+
+    A client may use such a register as scratch at that point without
+    spilling.  Conservative: barriers end the scan with the remaining
+    candidates removed.
+    """
+    candidates = set(range(8))
+    dead = set()
+    node = where
+    while node is not None and candidates:
+        if isinstance(node.note, dict) and node.note.get("clean_call"):
+            break
+        if not node.is_label():
+            if node.is_bundle:
+                break  # un-decoded code: unknown uses
+            reads, writes = instr_use_def(node)
+            for reg in reads:
+                candidates.discard(reg)
+            for reg in writes:
+                if reg in candidates:
+                    dead.add(reg)
+                    candidates.discard(reg)
+            if _is_barrier(node):
+                break
+        node = node.next
+    return dead

@@ -1,0 +1,12 @@
+"""The DynamoRIO client API (paper Section 3).
+
+``Client`` is the hook set of Table 3; ``repro.api.dr`` holds the
+``dr_*`` routines (transparent I/O and allocation, register spills,
+trace-head marking, fragment decode/replace) and C-flavored aliases so
+client code can read like the paper's Figure 3.
+"""
+
+from repro.api.client import Client
+from repro.api import dr
+
+__all__ = ["Client", "dr"]

@@ -1,0 +1,76 @@
+"""The client hook interface (paper Table 3).
+
+A client subclasses :class:`Client` and overrides the hooks it needs.
+Hook names follow the paper's ``dynamorio_*`` imports, shortened:
+
+==========================  ========================================
+paper                       here
+==========================  ========================================
+``dynamorio_init``          ``init``
+``dynamorio_exit``          ``exit``
+``dynamorio_thread_init``   ``thread_init``
+``dynamorio_thread_exit``   ``thread_exit``
+``dynamorio_basic_block``   ``basic_block(context, tag, ilist)``
+``dynamorio_trace``         ``trace(context, tag, ilist)``
+``dynamorio_fragment_deleted``  ``fragment_deleted(context, tag)``
+``dynamorio_end_trace``     ``end_trace(context, trace_tag, next_tag)``
+==========================  ========================================
+
+``context`` is an opaque per-thread pointer (the paper says clients
+must not inspect it; here it is the ThreadContext, passed back into
+``dr_*`` routines).  ``end_trace`` returns one of the module constants
+``END_TRACE`` / ``CONTINUE_TRACE`` / ``DEFAULT_TRACE_END``.
+"""
+
+from repro.core.trace_builder import CONTINUE_TRACE, DEFAULT_TRACE_END, END_TRACE
+
+__all__ = ["Client", "END_TRACE", "CONTINUE_TRACE", "DEFAULT_TRACE_END"]
+
+
+class Client:
+    """Base class for DynamoRIO clients; override the hooks you need."""
+
+    def __init__(self):
+        self._runtime = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def attach(self, runtime):
+        """Called by the runtime before ``init``; not a paper hook."""
+        self._runtime = runtime
+
+    @property
+    def runtime(self):
+        if self._runtime is None:
+            raise RuntimeError("client is not attached to a runtime")
+        return self._runtime
+
+    # ------------------------------------------------------------ the hooks
+
+    def init(self):
+        """Client initialization (dynamorio_init)."""
+
+    def exit(self):
+        """Client finalization (dynamorio_exit)."""
+
+    def thread_init(self, context):
+        """Per-thread initialization (dynamorio_thread_init)."""
+
+    def thread_exit(self, context):
+        """Per-thread finalization (dynamorio_thread_exit)."""
+
+    def basic_block(self, context, tag, ilist):
+        """Process a newly built basic block (dynamorio_basic_block)."""
+
+    def trace(self, context, tag, ilist):
+        """Process a trace before it enters the trace cache
+        (dynamorio_trace)."""
+
+    def fragment_deleted(self, context, tag):
+        """A fragment left the cache (dynamorio_fragment_deleted)."""
+
+    def end_trace(self, context, trace_tag, next_tag):
+        """Should the in-progress trace end before adding ``next_tag``?
+        Return END_TRACE, CONTINUE_TRACE, or DEFAULT_TRACE_END
+        (dynamorio_end_trace)."""
+        return DEFAULT_TRACE_END

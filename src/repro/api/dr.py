@@ -1,0 +1,265 @@
+"""``dr_*`` API routines and C-flavored aliases (paper Sections 3.2-3.5).
+
+Transparency: clients must not share I/O buffers or allocators with the
+application (Section 3.2).  ``dr_printf`` writes to a runtime-private
+log, and ``dr_global_alloc`` / ``dr_thread_alloc`` carve memory out of
+the *runtime* heap region — address-disjoint from every application
+region, which tests verify.
+
+The C-flavored aliases (``instr_get_opcode``, ``instrlist_first``, …)
+exist so clients can be written to read like the paper's Figure 3.
+"""
+
+from repro.ir.instr import Instr
+from repro.machine.cost import Family
+from repro.isa.opcodes import Opcode
+
+# ----------------------------------------------------------- transparency
+
+
+def dr_printf(client, fmt, *args):
+    """Transparent output: appends to the runtime's private log."""
+    runtime = client.runtime
+    if not hasattr(runtime, "client_log"):
+        runtime.client_log = []
+    runtime.client_log.append(fmt % args if args else fmt)
+
+
+def dr_get_log(client):
+    """Read back everything dr_printf wrote (tests/tools)."""
+    return list(getattr(client.runtime, "client_log", []))
+
+
+class _RuntimeHeap:
+    """Bump allocator over the runtime heap region."""
+
+    def __init__(self, runtime):
+        region = runtime.memory.region("runtime_heap")
+        self.cursor = region.start
+        self.end = region.end
+
+    def alloc(self, size):
+        addr = self.cursor
+        self.cursor += (size + 15) & ~15
+        if self.cursor > self.end:
+            raise MemoryError("runtime heap exhausted")
+        return addr
+
+
+def dr_global_alloc(client, size):
+    """Allocate runtime-private (never application-visible) memory."""
+    runtime = client.runtime
+    if not hasattr(runtime, "_dr_heap"):
+        runtime._dr_heap = _RuntimeHeap(runtime)
+    return runtime._dr_heap.alloc(size)
+
+
+def dr_thread_alloc(context, size):
+    """Thread-private runtime allocation."""
+    runtime = context.runtime
+    if not hasattr(runtime, "_dr_heap"):
+        runtime._dr_heap = _RuntimeHeap(runtime)
+    return runtime._dr_heap.alloc(size)
+
+
+# ------------------------------------------------------- thread-local state
+
+
+def dr_set_tls_field(context, value):
+    """The generic thread-local storage field for clients."""
+    context.client_field = value
+
+
+def dr_get_tls_field(context):
+    return context.client_field
+
+
+def dr_save_reg(context, reg, slot):
+    """Spill a register value to a thread-local slot (Section 3.2).
+
+    In real DynamoRIO this emits a store into the fragment; here the
+    clean-call mechanism makes the spill explicit at the API level.
+    """
+    context.spill_slots[slot] = context.cpu.regs[reg]
+
+
+def dr_restore_reg(context, reg, slot):
+    context.cpu.regs[reg] = context.spill_slots[slot]
+
+
+# ----------------------------------------------------- processor information
+
+
+def proc_get_family(client_or_runtime):
+    """Identify the underlying processor (Section 3.2), enabling
+    architecture-specific optimizations like Figure 3's."""
+    runtime = getattr(client_or_runtime, "runtime", client_or_runtime)
+    return runtime.cost.family
+
+
+FAMILY_PENTIUM_III = Family.PENTIUM_III
+FAMILY_PENTIUM_IV = Family.PENTIUM_IV
+
+
+# ----------------------------------------------------- adaptive optimization
+
+
+def dr_decode_fragment(context, tag):
+    """Re-create the InstrList for a cached fragment (Section 3.4)."""
+    return context.runtime.decode_fragment(context, tag)
+
+
+def dr_replace_fragment(context, tag, ilist):
+    """Install a new version of a fragment (Section 3.4).
+
+    Safe to call from code reached *inside* the old fragment (a clean
+    call): the current pass finishes in the old code and every later
+    entry uses the new version.
+    """
+    return context.runtime.replace_fragment(context, tag, ilist)
+
+
+# ------------------------------------------------------------- custom traces
+
+
+def dr_mark_trace_head(context, tag):
+    """Mark ``tag`` as a custom trace head (Section 3.5)."""
+    context.runtime.mark_trace_head(tag)
+
+
+# ------------------------------------------------------------- clean calls
+
+
+def dr_insert_clean_call(ilist, where, fn):
+    """Insert a call to client Python code at ``where`` (before it).
+
+    ``fn(context)`` runs with the application context saved — the
+    equivalent of DynamoRIO's clean-call insertion.  Returns the
+    inserted pseudo-instruction.
+    """
+    pseudo = Instr.label()
+    pseudo.note = {"clean_call": fn}
+    if where is None:
+        ilist.append(pseudo)
+    else:
+        ilist.insert_before(where, pseudo)
+    return pseudo
+
+
+def dr_set_ind_branch_checker(instr, fn):
+    """Attach an enforcement routine to an indirect-branch instruction.
+
+    Unlike the profiler (reached only on dispatch misses), ``fn(context,
+    target)`` runs on *every* execution, before control transfers — the
+    hook security clients (program shepherding, reference [23] of the
+    paper) use to validate targets.  Raise from ``fn`` to block the
+    transfer.
+    """
+    note = instr.note if isinstance(instr.note, dict) else {}
+    note["checker"] = fn
+    instr.note = note
+
+
+def dr_set_ind_branch_profiler(instr, fn):
+    """Attach a profiling routine to an indirect-branch instruction.
+
+    ``fn(context, target)`` runs whenever the branch misses all inlined
+    dispatch targets — the profiling call of the paper's Figure 4.
+    """
+    note = instr.note if isinstance(instr.note, dict) else {}
+    note["profiler"] = fn
+    instr.note = note
+
+
+def dr_get_ind_dispatch(instr):
+    """The current inlined dispatch target list of an indirect branch."""
+    note = instr.note if isinstance(instr.note, dict) else {}
+    return list(note.get("dispatch", ()))
+
+
+def dr_set_ind_dispatch(instr, tags):
+    """Set the compare-and-branch dispatch chain (Figure 4) for an
+    inlined indirect branch: each tag becomes a direct, linkable exit
+    checked before the hashtable lookup."""
+    note = instr.note if isinstance(instr.note, dict) else {}
+    note["dispatch"] = tuple(tags)
+    instr.note = note
+
+
+# ------------------------------------------------------- custom exit stubs
+
+
+def dr_set_exit_stub(instr, stub_ilist, always=False):
+    """Prepend client instructions to the exit stub of an exit CTI
+    (Section 3.2).  With ``always=True`` the exit goes through the stub
+    even when linked."""
+    instr.exit_stub_code = stub_ilist
+    instr.exit_always_stub = always
+
+
+# ----------------------------------------------------- C-flavored aliases
+
+
+def instr_get_opcode(instr):
+    return instr.opcode
+
+
+def instr_get_eflags(instr):
+    return instr.eflags
+
+
+def instr_get_next(instr):
+    return instr.next
+
+
+def instr_get_prev(instr):
+    return instr.prev
+
+
+def instr_get_src(instr, i):
+    return instr.src(i)
+
+
+def instr_get_dst(instr, i):
+    return instr.dst(i)
+
+
+def instr_set_prefixes(instr, prefixes):
+    instr.set_prefixes(prefixes)
+
+
+def instr_get_prefixes(instr):
+    return instr.prefixes
+
+
+def instr_is_exit_cti(instr):
+    return instr.is_exit_cti
+
+
+def instr_destroy(_context, instr):
+    """Free an instruction (a no-op under garbage collection, kept for
+    Figure 3 fidelity)."""
+
+
+def instrlist_first(ilist):
+    return ilist.first()
+
+
+def instrlist_last(ilist):
+    return ilist.last()
+
+
+def instrlist_replace(ilist, old, new):
+    return ilist.replace(old, new)
+
+
+def instrlist_remove(ilist, instr):
+    return ilist.remove(instr)
+
+
+def instrlist_insert_before(ilist, where, instr):
+    return ilist.insert_before(where, instr)
+
+
+def instrlist_insert_after(ilist, where, instr):
+    return ilist.insert_after(where, instr)

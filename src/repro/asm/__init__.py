@@ -1,0 +1,6 @@
+"""Program construction: a code builder and a small text assembler."""
+
+from repro.asm.builder import CodeBuilder, mem
+from repro.asm.assembler import assemble, AsmError
+
+__all__ = ["CodeBuilder", "mem", "assemble", "AsmError"]

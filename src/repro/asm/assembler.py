@@ -1,0 +1,248 @@
+"""A small text assembler for RIO-32.
+
+Syntax (Intel-flavored, one statement per line, ``;`` comments)::
+
+    .entry main             ; entry-point label
+    .data 0x100000          ; subsequent dd/db go to the data section
+    counter: dd 0
+    .text
+    main:
+        mov eax, 0
+        mov ecx, [0x100000]
+    loop:
+        add eax, ecx
+        dec ecx
+        jnz loop
+        mov ebx, eax
+        mov eax, 3          ; SYS_WRITE_U32
+        syscall
+        mov eax, 1          ; SYS_EXIT
+        mov ebx, 0
+        syscall
+
+Memory operands: ``[base + index*scale + disp]`` with optional ``byte``
+/ ``word`` size prefix.  Branch targets are labels.  ``imm`` operands
+accept decimal, hex, and ``label`` (the label's address) for jump
+tables.
+"""
+
+import re
+
+from repro.asm.builder import CodeBuilder
+from repro.isa.opcodes import opcode_from_name
+from repro.isa.operands import ImmOperand, MemOperand
+from repro.isa.registers import reg_from_name, Reg
+from repro.loader.image import Image
+
+
+class AsmError(Exception):
+    """Syntax or semantic error in assembly text."""
+
+    def __init__(self, lineno, message):
+        super().__init__("line %d: %s" % (lineno, message))
+        self.lineno = lineno
+
+
+_REG_NAMES = frozenset(
+    "eax ecx edx ebx esp ebp esi edi".split()
+)
+
+_MEM_RE = re.compile(r"^(?:(byte|word|dword)\s+)?\[(.+)\]$")
+
+_MNEMONIC_ALIASES = {
+    "jmpi": "jmp*",
+    "calli": "call*",
+}
+
+
+def _parse_int(text, lineno):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AsmError(lineno, "bad integer %r" % text)
+
+
+def _parse_mem(match, lineno, label_imm):
+    size = {"byte": 1, "word": 2, "dword": 4, None: 4}[match.group(1)]
+    body = match.group(2).replace(" ", "")
+    base = index = None
+    scale = 1
+    disp = 0
+    # split on +/- keeping signs
+    terms = re.findall(r"[+-]?[^+-]+", body)
+    for term in terms:
+        sign = -1 if term.startswith("-") else 1
+        term_body = term.lstrip("+-")
+        if "*" in term_body:
+            reg_txt, scale_txt = term_body.split("*", 1)
+            if index is not None:
+                raise AsmError(lineno, "two index registers")
+            try:
+                index = reg_from_name(reg_txt)
+            except KeyError:
+                raise AsmError(lineno, "bad index register %r" % reg_txt)
+            scale = _parse_int(scale_txt, lineno)
+            if sign < 0:
+                raise AsmError(lineno, "negative index term")
+        elif term_body.lower() in _REG_NAMES:
+            reg = reg_from_name(term_body)
+            if sign < 0:
+                raise AsmError(lineno, "negative base register")
+            if base is None:
+                base = reg
+            elif index is None:
+                index = reg
+            else:
+                raise AsmError(lineno, "too many registers in address")
+        else:
+            if re.match(r"^[A-Za-z_.][\w.]*$", term_body):
+                disp += sign * label_imm(term_body)
+            else:
+                disp += sign * _parse_int(term_body, lineno)
+    try:
+        return MemOperand(base=base, index=index, scale=scale, disp=disp, size=size)
+    except ValueError as exc:
+        raise AsmError(lineno, str(exc))
+
+
+def assemble(source, base=0x1000, data_base=0x100000, entry="main"):
+    """Assemble source text into an :class:`Image`."""
+    builder = CodeBuilder(base=base)
+    data = bytearray()
+    data_symbols = {}
+    pending_entry = [entry]
+    in_data = False
+
+    # Pass 0: collect data-symbol addresses so code can reference them.
+    cursor = 0
+    for lineno, raw_line in enumerate(source.splitlines(), 1):
+        line = raw_line.split(";")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".data"):
+            in_data = True
+            continue
+        if line.startswith(".text") or line.startswith(".entry"):
+            in_data = False
+            continue
+        if not in_data:
+            continue
+        m = re.match(r"^(?:([A-Za-z_.][\w.]*):\s*)?(d[bd])\s+(.*)$", line)
+        if not m:
+            raise AsmError(lineno, "bad data statement %r" % line)
+        label, directive, rest = m.groups()
+        if label:
+            data_symbols[label] = data_base + cursor
+        values = [v.strip() for v in rest.split(",")]
+        width = 1 if directive == "db" else 4
+        cursor += width * len(values)
+
+    def label_imm(name):
+        if name in data_symbols:
+            return data_symbols[name]
+        raise KeyError(name)
+
+    def parse_operand(text, lineno, code_labels):
+        text = text.strip()
+        m = _MEM_RE.match(text)
+        if m:
+            def resolve(name):
+                try:
+                    return label_imm(name)
+                except KeyError:
+                    raise AsmError(lineno, "unknown data symbol %r" % name)
+
+            return _parse_mem(m, lineno, resolve)
+        if text.lower() in _REG_NAMES:
+            return reg_from_name(text)
+        if re.match(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$", text):
+            return ImmOperand(_parse_int(text, lineno), size=4)
+        if re.match(r"^[A-Za-z_.][\w.]*$", text):
+            if text in data_symbols:
+                return ImmOperand(data_symbols[text], size=4)
+            # a code label: branch target or address immediate
+            return text
+        raise AsmError(lineno, "cannot parse operand %r" % text)
+
+    in_data = False
+    for lineno, raw_line in enumerate(source.splitlines(), 1):
+        line = raw_line.split(";")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".entry"):
+            pending_entry[0] = line.split()[1]
+            continue
+        if line.startswith(".data"):
+            in_data = True
+            continue
+        if line.startswith(".text"):
+            in_data = False
+            continue
+        if in_data:
+            m = re.match(r"^(?:[A-Za-z_.][\w.]*:\s*)?(d[bd])\s+(.*)$", line)
+            directive, rest = m.groups()
+            for value_text in rest.split(","):
+                value_text = value_text.strip()
+                value = (
+                    data_symbols[value_text]
+                    if value_text in data_symbols
+                    else _parse_int(value_text, lineno)
+                )
+                if directive == "db":
+                    data.append(value & 0xFF)
+                else:
+                    data += (value & 0xFFFFFFFF).to_bytes(4, "little")
+            continue
+
+        # code line: optional leading label(s)
+        while True:
+            m = re.match(r"^([A-Za-z_.][\w.]*):\s*(.*)$", line)
+            if not m:
+                break
+            builder.label(m.group(1))
+            line = m.group(2).strip()
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = _MNEMONIC_ALIASES.get(parts[0].lower(), parts[0].lower())
+        try:
+            opcode = opcode_from_name(mnemonic)
+        except KeyError:
+            raise AsmError(lineno, "unknown mnemonic %r" % parts[0])
+        operand_texts = (
+            [t for t in _split_operands(parts[1])] if len(parts) > 1 else []
+        )
+        operands = [parse_operand(t, lineno, None) for t in operand_texts]
+        try:
+            builder.instr(opcode, *operands)
+        except (ValueError, TypeError) as exc:
+            raise AsmError(lineno, str(exc))
+
+    sections = []
+    if data:
+        sections.append((".data", data_base, bytes(data)))
+    try:
+        return builder.image(entry=pending_entry[0], data_sections=sections)
+    except KeyError as exc:
+        raise AsmError(0, "undefined label %s" % exc)
+
+
+def _split_operands(text):
+    """Split on commas that are not inside brackets."""
+    out = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        out.append("".join(current))
+    return [t.strip() for t in out if t.strip()]

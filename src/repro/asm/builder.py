@@ -1,0 +1,276 @@
+"""Programmatic code builder with labels and branch relaxation.
+
+One method per mnemonic (``b.mov(...)``, ``b.jnz("loop")``, …), with
+light operand sugar:
+
+* a ``Reg`` becomes a register operand;
+* an ``int`` becomes an immediate;
+* a ``str`` names a label (branch targets and ``lea``-style address
+  materialization via :meth:`CodeBuilder.mov_label`);
+* :func:`mem` builds memory operands.
+
+``assemble`` performs iterative branch relaxation so hot loops get the
+compact rel8 branch encodings — making the generated code's length
+distribution realistic for the boundary-scanning decoder.
+"""
+
+from repro.ir.shapes import explicit_arity
+from repro.isa.encoder import encode_instr
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.operands import (
+    ImmOperand,
+    MemOperand,
+    Operand,
+    PcOperand,
+    RegOperand,
+)
+from repro.isa.registers import Reg
+from repro.loader.image import Image
+
+
+def mem(base=None, index=None, scale=1, disp=0, size=4):
+    """Memory operand helper (exported sugar)."""
+    return MemOperand(base=base, index=index, scale=scale, disp=disp, size=size)
+
+
+class _LabelTarget:
+    """Placeholder operand: a branch to a not-yet-placed label."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class _LabelImm:
+    """Placeholder immediate: the address of a label (for call tables)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class CodeBuilder:
+    """Accumulates instructions; assembles to bytes or an Image."""
+
+    def __init__(self, base=0x1000):
+        self.base = base
+        self._items = []  # ("instr", opcode, ops) | ("label", name) | ("bytes", data)
+        self._label_names = set()
+
+    # ----------------------------------------------------------- structure
+
+    def label(self, name):
+        """Bind ``name`` to the current position."""
+        if name in self._label_names:
+            raise ValueError("duplicate label %r" % name)
+        self._label_names.add(name)
+        self._items.append(("label", name))
+        return name
+
+    def raw(self, data):
+        """Emit literal bytes (e.g. pre-encoded instructions)."""
+        self._items.append(("bytes", bytes(data)))
+
+    def word_label(self, name):
+        """Emit a 4-byte little-endian word holding ``name``'s address.
+
+        This is how jump tables are placed in the text section: the
+        entries resolve when labels are placed.
+        """
+        self._items.append(("wordlabel", name))
+
+    def instr(self, opcode, *operands):
+        """Emit one instruction with operand sugar applied."""
+        opcode = Opcode(opcode)
+        converted = tuple(self._convert(op) for op in operands)
+        # The movb mnemonic implies a byte-sized destination, like real
+        # assemblers where the mnemonic carries the operand size.
+        if (
+            opcode == Opcode.MOVB_STORE
+            and converted
+            and isinstance(converted[0], MemOperand)
+            and converted[0].size != 1
+        ):
+            m = converted[0]
+            converted = (
+                MemOperand(base=m.base, index=m.index, scale=m.scale,
+                           disp=m.disp, size=1),
+            ) + converted[1:]
+        arity = explicit_arity(opcode)
+        if len(converted) != arity:
+            raise ValueError(
+                "%s takes %d operand(s), got %d"
+                % (OP_INFO[opcode].name, arity, len(converted))
+            )
+        self._items.append(("instr", opcode, converted))
+
+    @staticmethod
+    def _convert(op):
+        if isinstance(op, (Operand, _LabelTarget, _LabelImm)):
+            return op
+        if isinstance(op, Reg):
+            return RegOperand(op)
+        if isinstance(op, int):
+            return ImmOperand(op, size=4)
+        if isinstance(op, str):
+            return _LabelTarget(op)
+        raise TypeError("cannot convert %r to an operand" % (op,))
+
+    def label_address(self, name):
+        """Immediate operand holding a label's address (jump tables)."""
+        return _LabelImm(name)
+
+    # -------------------------------------------------------------- assembly
+
+    def assemble(self):
+        """Resolve labels and encode.  Returns ``(bytes, labels)``.
+
+        Branch relaxation is the standard grow-only fixpoint: start with
+        every branch optimistically short, then pin a branch to its long
+        form whenever its displacement does not fit.  Lengths never
+        shrink, so the iteration terminates in at most one pass per
+        branch, and the final layout is self-consistent.
+        """
+        # Optimistic initial lengths (labels assumed at distance zero).
+        lengths = []
+        for item in self._items:
+            if item[0] == "instr":
+                lengths.append(self._length_of(item, None, allow_short=True))
+            elif item[0] == "bytes":
+                lengths.append(len(item[1]))
+            elif item[0] == "wordlabel":
+                lengths.append(4)
+            else:
+                lengths.append(0)
+
+        pinned_long = set()
+        labels = {}
+        for _ in range(len(self._items) + 2):
+            # Place labels from current length estimates.
+            pc = self.base
+            for item, length in zip(self._items, lengths):
+                if item[0] == "label":
+                    labels[item[1]] = pc
+                pc += length
+            changed = False
+            pc = self.base
+            for i, item in enumerate(self._items):
+                if item[0] == "instr":
+                    allow_short = i not in pinned_long
+                    new_len = self._length_of(
+                        item, labels, allow_short=allow_short, pc=pc
+                    )
+                    if new_len > lengths[i]:
+                        pinned_long.add(i)
+                        lengths[i] = self._length_of(
+                            item, labels, allow_short=False, pc=pc
+                        )
+                        changed = True
+                pc += lengths[i]
+            if not changed:
+                break
+        else:
+            raise AssertionError("branch relaxation failed to converge")
+
+        out = bytearray()
+        pc = self.base
+        for i, (item, length) in enumerate(zip(self._items, lengths)):
+            if item[0] == "bytes":
+                out += item[1]
+            elif item[0] == "wordlabel":
+                if item[1] not in labels:
+                    raise KeyError("undefined label %r" % item[1])
+                out += labels[item[1]].to_bytes(4, "little")
+            elif item[0] == "instr":
+                raw = self._encode_item(
+                    item, labels, pc, allow_short=i not in pinned_long
+                )
+                if len(raw) != length:
+                    raise AssertionError("layout instability at 0x%x" % pc)
+                out += raw
+            pc += length
+        return bytes(out), labels
+
+    def _resolve_ops(self, item, labels, missing_ok=False):
+        _, opcode, ops = item
+        resolved = []
+        for op in ops:
+            if isinstance(op, _LabelTarget):
+                if labels is None or op.name not in labels:
+                    if missing_ok:
+                        resolved.append(PcOperand(0))
+                        continue
+                    raise KeyError("undefined label %r" % op.name)
+                resolved.append(PcOperand(labels[op.name]))
+            elif isinstance(op, _LabelImm):
+                if labels is None or op.name not in labels:
+                    if missing_ok:
+                        resolved.append(ImmOperand(0, size=4))
+                        continue
+                    raise KeyError("undefined label %r" % op.name)
+                resolved.append(ImmOperand(labels[op.name], size=4))
+            else:
+                resolved.append(op)
+        return opcode, tuple(resolved)
+
+    def _length_of(self, item, labels, allow_short, pc=None):
+        opcode, ops = self._resolve_ops(item, labels, missing_ok=labels is None)
+        if labels is None:
+            # Optimistic measurement: unresolved labels act as if at
+            # distance zero from the instruction.
+            pc = 0
+            ops = tuple(
+                PcOperand(0) if isinstance(op, PcOperand) else op for op in ops
+            )
+        return len(
+            encode_instr(
+                opcode, ops, pc=pc if pc is not None else 0, allow_short=allow_short
+            )
+        )
+
+    def _encode_item(self, item, labels, pc, allow_short):
+        opcode, ops = self._resolve_ops(item, labels)
+        return encode_instr(opcode, ops, pc=pc, allow_short=allow_short)
+
+    def image(self, entry="main", data_sections=()):
+        """Assemble into an :class:`Image`.
+
+        ``entry`` is a label name (or an address).  ``data_sections`` is
+        an iterable of ``(name, addr, bytes)``.
+        """
+        code, labels = self.assemble()
+        image = Image()
+        image.add_section(".text", self.base, code)
+        for name, addr, data in data_sections:
+            image.add_section(name, addr, data, writable=True)
+        for name, addr in labels.items():
+            image.add_symbol(name, addr)
+        image.entry = labels[entry] if isinstance(entry, str) else entry
+        return image
+
+
+def _install_mnemonics():
+    import keyword
+
+    sanitized = {"jmp*": "jmp_ind", "call*": "call_ind", "<label>": None}
+
+    def make(opcode):
+        def method(self, *operands):
+            self.instr(opcode, *operands)
+
+        method.__name__ = OP_INFO[opcode].name
+        method.__doc__ = "Emit a `%s` instruction." % OP_INFO[opcode].name
+        return method
+
+    for opcode, info in OP_INFO.items():
+        name = sanitized.get(info.name, info.name)
+        if name is None or name == "label":
+            continue
+        if keyword.iskeyword(name):
+            name += "_"  # and_, or_, not_
+        setattr(CodeBuilder, name, make(opcode))
+
+
+_install_mnemonics()

@@ -1,0 +1,47 @@
+"""Sample DynamoRIO clients (paper Section 4) plus instrumentation demos.
+
+The four optimizations evaluated in the paper's Figure 5:
+
+=====================  ===============================================
+``RedundantLoadRemoval``    Section 4.1 — classical optimization applied
+                            dynamically to traces
+``StrengthReduction``       Section 4.2 / Figure 3 — inc→add 1 on the
+                            Pentium 4 (architecture-specific)
+``IndirectBranchDispatch``  Section 4.3 / Figure 4 — adaptive inline
+                            dispatch replacing hashtable lookups
+``CustomTraces``            Section 4.4 — call-inlining traces via
+                            dr_mark_trace_head / end_trace
+=====================  ===============================================
+
+Non-optimization uses (Sections 1 and 7): ``InstructionCounter``,
+``OpcodeProfiler``, ``NullClient``.  ``CombinedClient`` composes
+sub-clients (the paper's "all applied in combination" bar).
+"""
+
+from repro.clients.redundant_load import RedundantLoadRemoval
+from repro.clients.strength_reduce import StrengthReduction
+from repro.clients.indirect_dispatch import IndirectBranchDispatch
+from repro.clients.custom_traces import CustomTraces
+from repro.clients.instrumentation import (
+    InstructionCounter,
+    NullClient,
+    OpcodeProfiler,
+)
+from repro.clients.inline_count import InlineInstructionCounter
+from repro.clients.combined import CombinedClient, make_all_optimizations
+from repro.clients.shepherd import ProgramShepherding, SecurityViolation
+
+__all__ = [
+    "RedundantLoadRemoval",
+    "StrengthReduction",
+    "IndirectBranchDispatch",
+    "CustomTraces",
+    "InstructionCounter",
+    "InlineInstructionCounter",
+    "OpcodeProfiler",
+    "NullClient",
+    "CombinedClient",
+    "make_all_optimizations",
+    "ProgramShepherding",
+    "SecurityViolation",
+]

@@ -1,0 +1,73 @@
+"""Client composition: run several clients as one (Figure 5's final bar).
+
+Hooks dispatch to every sub-client in order; ``end_trace`` returns the
+first non-DEFAULT answer.  The composition order matters for the "all
+optimizations" configuration: custom traces shape the trace first, then
+redundant load removal, then strength reduction, then indirect-branch
+dispatch instruments what remains.
+"""
+
+from repro.api.client import Client, DEFAULT_TRACE_END
+
+
+class CombinedClient(Client):
+    def __init__(self, clients):
+        super().__init__()
+        self.clients = list(clients)
+
+    def attach(self, runtime):
+        super().attach(runtime)
+        for c in self.clients:
+            c.attach(runtime)
+
+    def init(self):
+        for c in self.clients:
+            c.init()
+
+    def exit(self):
+        for c in self.clients:
+            c.exit()
+
+    def thread_init(self, context):
+        for c in self.clients:
+            c.thread_init(context)
+
+    def thread_exit(self, context):
+        for c in self.clients:
+            c.thread_exit(context)
+
+    def basic_block(self, context, tag, ilist):
+        for c in self.clients:
+            c.basic_block(context, tag, ilist)
+
+    def trace(self, context, tag, ilist):
+        for c in self.clients:
+            c.trace(context, tag, ilist)
+
+    def fragment_deleted(self, context, tag):
+        for c in self.clients:
+            c.fragment_deleted(context, tag)
+
+    def end_trace(self, context, trace_tag, next_tag):
+        for c in self.clients:
+            answer = c.end_trace(context, trace_tag, next_tag)
+            if answer != DEFAULT_TRACE_END:
+                return answer
+        return DEFAULT_TRACE_END
+
+
+def make_all_optimizations():
+    """The paper's "all four optimizations in combination" client."""
+    from repro.clients.custom_traces import CustomTraces
+    from repro.clients.indirect_dispatch import IndirectBranchDispatch
+    from repro.clients.redundant_load import RedundantLoadRemoval
+    from repro.clients.strength_reduce import StrengthReduction
+
+    return CombinedClient(
+        [
+            CustomTraces(),
+            RedundantLoadRemoval(),
+            StrengthReduction(),
+            IndirectBranchDispatch(),
+        ]
+    )

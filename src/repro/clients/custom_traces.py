@@ -1,0 +1,124 @@
+"""Custom call-inlining traces (paper Section 4.4).
+
+Default traces focus on loops and often split a hot call from its
+return, so the inlined return target keeps missing (each call site
+returns somewhere else).  This client uses the custom-trace interface:
+
+* every block that ends in a call is marked as a trace head
+  (``dr_mark_trace_head``), so traces begin *at call sites* and inline
+  the callee per call site — which "nearly guarantees that the inlined
+  [return] target will match", since each trace's return continuation
+  is its own call site's fall-through;
+* ``end_trace`` ends a trace one basic block after a return — inlining
+  the return together with its (now unique) return target;
+* in the trace hook, an inlined return whose calling convention is
+  assumed to hold is removed entirely: the pop becomes a flags-neutral
+  ``lea esp, [esp+4]`` and the target check disappears.
+"""
+
+from repro.api.client import Client, CONTINUE_TRACE, DEFAULT_TRACE_END, END_TRACE
+from repro.api.dr import dr_mark_trace_head, dr_printf
+from repro.ir.create import INSTR_CREATE_lea, OPND_CREATE_MEM, OPND_CREATE_REG
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import PcOperand
+from repro.isa.registers import Reg
+
+
+class CustomTraces(Client):
+    """Mark calls as trace heads; end traces after returns."""
+
+    def __init__(self, max_trace_blocks=12, remove_returns=True):
+        super().__init__()
+        self.max_trace_blocks = max_trace_blocks
+        self.remove_returns = remove_returns
+        # tag -> True when that block ends in a return
+        self.ends_in_ret = {}
+        # per-trace build state: trace_tag -> (blocks added, saw a ret)
+        self.building = {}
+        self.returns_removed = 0
+        self.heads_marked = 0
+
+    # -------------------------------------------------------------- hooks
+
+    def basic_block(self, context, tag, ilist):
+        ends_ret = False
+        ends_call = False
+        for instr in ilist:
+            if instr.is_bundle or instr.is_label() or instr.level < 2:
+                continue
+            if instr.is_cti():
+                if instr.is_call():
+                    ends_call = True
+                if instr.is_ret():
+                    ends_ret = True
+        if ends_call:
+            # Per-call-site traces: the call site itself heads a trace
+            # so the inlined return target is this site's continuation.
+            dr_mark_trace_head(context, tag)
+            self.heads_marked += 1
+        self.ends_in_ret[tag] = ends_ret
+
+    def end_trace(self, context, trace_tag, next_tag):
+        count, saw_ret, prev_tag = self.building.get(trace_tag, (1, False, trace_tag))
+        if saw_ret:
+            # one block was added after the return: end now
+            self.building.pop(trace_tag, None)
+            return END_TRACE
+        if count >= self.max_trace_blocks:
+            self.building.pop(trace_tag, None)
+            return END_TRACE
+        # Did the block about to be *left* (the previous one) end in ret?
+        prev_ends_ret = self.ends_in_ret.get(prev_tag, False)
+        self.building[trace_tag] = (count + 1, prev_ends_ret, next_tag)
+        # Keep building through calls and returns (the default test would
+        # stop at backward branches; we want call→body→ret→continuation).
+        return CONTINUE_TRACE
+
+    def trace(self, context, tag, ilist):
+        self.building.pop(tag, None)
+        if not self.remove_returns:
+            return
+        # A return may only be removed when its matching *call* was
+        # inlined earlier in this same trace: then the pushed return
+        # address is by construction the trace's recorded continuation
+        # (given the calling convention).  A return at depth zero could
+        # have been reached from any caller — its check must stay.
+        depth = 0
+        for instr in ilist:
+            if instr.is_label() or instr.is_bundle or instr.level < 2:
+                continue
+            if (
+                instr.is_call()
+                and isinstance(instr.note, dict)
+                and (instr.note.get("inline") or "inline_target" in instr.note)
+            ):
+                depth += 1
+                continue
+            if (
+                instr.is_ret()
+                and isinstance(instr.note, dict)
+                and instr.note.get("inline_target") is not None
+                and depth > 0
+            ):
+                depth -= 1
+                # Assume the calling convention holds: the return goes to
+                # the inlined continuation.  Pop the return address with a
+                # flags-neutral lea and drop the check entirely.
+                pop = INSTR_CREATE_lea(
+                    OPND_CREATE_REG(Reg.ESP),
+                    OPND_CREATE_MEM(base=Reg.ESP, disp=4),
+                )
+                ilist.replace(instr, pop)
+                pop.is_exit_cti = False
+                self.returns_removed += 1
+
+    def fragment_deleted(self, context, tag):
+        self.building.pop(tag, None)
+
+    def exit(self):
+        dr_printf(
+            self,
+            "custom traces: %d call heads marked, %d returns removed",
+            self.heads_marked,
+            self.returns_removed,
+        )

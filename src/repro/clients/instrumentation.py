@@ -1,0 +1,91 @@
+"""Non-optimization clients (paper Sections 1 and 7).
+
+The interface "is not restricted to optimization and can be used for
+instrumentation, profiling, dynamic translation, etc.":
+
+* :class:`NullClient` — observes every hook, changes nothing; measures
+  the bare cost of running a client;
+* :class:`InstructionCounter` — classic dynamic instruction counting
+  via one clean call per basic block;
+* :class:`OpcodeProfiler` — static-at-build-time opcode mix histogram,
+  zero execution-time overhead.
+"""
+
+from collections import Counter
+
+from repro.api.client import Client
+from repro.api.dr import dr_insert_clean_call, dr_printf
+from repro.core.bb_builder import block_instr_count
+
+
+class NullClient(Client):
+    """Sees everything, touches nothing."""
+
+    def __init__(self):
+        super().__init__()
+        self.bb_count = 0
+        self.trace_count = 0
+        self.deleted_count = 0
+        self.thread_inits = 0
+
+    def thread_init(self, context):
+        self.thread_inits += 1
+
+    def basic_block(self, context, tag, ilist):
+        self.bb_count += 1
+
+    def trace(self, context, tag, ilist):
+        self.trace_count += 1
+
+    def fragment_deleted(self, context, tag):
+        self.deleted_count += 1
+
+
+class InstructionCounter(Client):
+    """Counts dynamically executed application instructions.
+
+    One clean call per basic block adds the block's size — the standard
+    "inscount" tool on every DBI framework.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.executed = 0
+
+    def basic_block(self, context, tag, ilist):
+        count = block_instr_count(ilist)
+
+        def bump(_context, _count=count):
+            self.executed += _count
+
+        dr_insert_clean_call(ilist, ilist.first(), bump)
+
+    def exit(self):
+        dr_printf(self, "executed %d instructions", self.executed)
+
+
+class OpcodeProfiler(Client):
+    """Histogram of opcodes entering the code cache (build-time only)."""
+
+    def __init__(self):
+        super().__init__()
+        self.block_opcodes = Counter()
+        self.trace_opcodes = Counter()
+
+    def basic_block(self, context, tag, ilist):
+        ilist.decode_all()
+        for instr in ilist:
+            if not instr.is_label():
+                self.block_opcodes[instr.info.name] += 1
+
+    def trace(self, context, tag, ilist):
+        for instr in ilist:
+            if not instr.is_label():
+                self.trace_opcodes[instr.info.name] += 1
+
+    def exit(self):
+        top = ", ".join(
+            "%s:%d" % (name, count)
+            for name, count in self.block_opcodes.most_common(5)
+        )
+        dr_printf(self, "top block opcodes: %s", top)

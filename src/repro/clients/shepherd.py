@@ -1,0 +1,125 @@
+"""Program shepherding: control-flow policy enforcement.
+
+The paper cites "secure execution via program shepherding" [23] as the
+flagship non-optimization use of this interface; the shepherding system
+was literally built as a DynamoRIO client.  This client reproduces its
+core policies on RIO-32:
+
+* **indirect call / indirect jump targets** must be *known function
+  entries* — addresses the client has learned from the image's function
+  symbols or from direct call sites it has seen at block-build time;
+* **return targets** must be *return sites* — the instruction after
+  some call the client has seen.
+
+Both policies are enforced with checker routines on every indirect
+transfer (``dr_set_ind_branch_checker``), before control moves — so a
+corrupted function pointer or a smashed return address is stopped at
+the branch, not after the payload runs.  Enforcement cost is real
+(a clean call per indirect transfer), exactly the overhead profile the
+shepherding paper reports.
+"""
+
+from repro.api.client import Client
+from repro.api.dr import dr_printf, dr_set_ind_branch_checker
+from repro.isa.operands import PcOperand
+
+
+class SecurityViolation(Exception):
+    """An indirect control transfer violated the shepherding policy."""
+
+    def __init__(self, kind, target):
+        super().__init__(
+            "%s to unapproved target 0x%x" % (kind, target)
+        )
+        self.kind = kind
+        self.target = target
+
+
+class ProgramShepherding(Client):
+    """Enforce function-entry and return-site policies."""
+
+    def __init__(self, image=None, enforce=True):
+        super().__init__()
+        self.enforce = enforce
+        self.allowed_entries = set()
+        self.return_sites = set()
+        self.violations = []
+        self.checks_performed = 0
+        if image is not None:
+            self.trust_image(image)
+
+    # ------------------------------------------------------------- policies
+
+    def trust_image(self, image):
+        """Allow every function symbol of an image as an entry point
+        (the shepherding paper's "code origins" trust in the loaded
+        binary)."""
+        for name, addr in image.symbols.items():
+            if name.startswith("fn_") or name == "_start" or name == "__thread_exit":
+                self.allowed_entries.add(addr)
+
+    def allow_entry(self, addr):
+        self.allowed_entries.add(addr)
+
+    # --------------------------------------------------------------- hooks
+
+    def basic_block(self, context, tag, ilist):
+        for instr in ilist:
+            if instr.is_bundle or instr.is_label() or instr.level < 2:
+                continue
+            if not instr.is_cti():
+                continue
+            if instr.is_call():
+                # every call site (direct or indirect) creates a legal
+                # return site just after it
+                if instr.raw_bits_valid():
+                    self.return_sites.add(instr.raw_pc + len(instr.raw))
+                target = instr.target
+                if isinstance(target, PcOperand):
+                    self.allowed_entries.add(target.pc)
+            if instr.is_indirect_branch():
+                self._arm(instr)
+
+    def trace(self, context, tag, ilist):
+        # Traces are rebuilt from (possibly re-armed) block code; make
+        # sure every indirect branch carries its checker.
+        for instr in ilist:
+            if instr.is_bundle or instr.is_label() or instr.level < 2:
+                continue
+            if instr.is_cti() and instr.is_indirect_branch():
+                self._arm(instr)
+
+    def _arm(self, instr):
+        if instr.is_ret():
+            dr_set_ind_branch_checker(instr, self._check_return)
+        else:
+            dr_set_ind_branch_checker(instr, self._check_entry)
+
+    # ------------------------------------------------------------- checking
+
+    def _check_entry(self, context, target):
+        self.checks_performed += 1
+        if target in self.allowed_entries:
+            return
+        self.violations.append(("indirect-entry", target))
+        if self.enforce:
+            raise SecurityViolation("indirect-entry", target)
+
+    def _check_return(self, context, target):
+        self.checks_performed += 1
+        if target in self.return_sites or target in self.allowed_entries:
+            return
+        self.violations.append(("return", target))
+        if self.enforce:
+            raise SecurityViolation("return", target)
+
+    def exit(self):
+        dr_printf(
+            self,
+            "shepherding: %d checks, %d violations, %d trusted entries, "
+            "%d return sites",
+            self.checks_performed,
+            len(self.violations),
+            len(self.allowed_entries),
+            len(self.return_sites),
+        )

@@ -1,0 +1,23 @@
+"""The DynamoRIO reproduction: a runtime code cache with linking,
+traces, adaptive fragment replacement, and a client interface.
+
+Modules:
+
+=================  ====================================================
+``options``        runtime configuration, incl. the Table 1 presets
+``fragments``      Fragment / LinkStub data structures
+``bb_builder``     application code → basic-block InstrList
+``trace_builder``  NET-style trace construction (heads, counters)
+``emit``           InstrList → executable fragment ops (lowering)
+``execute``        the in-cache execution engine
+``ibl``            indirect-branch lookup table
+``runtime``        the dispatch loop tying everything together
+``threads``        per-thread context (thread-private caches)
+``stats``          runtime statistics
+=================  ====================================================
+"""
+
+from repro.core.options import RuntimeOptions
+from repro.core.runtime import DynamoRIO
+
+__all__ = ["RuntimeOptions", "DynamoRIO"]

@@ -1,0 +1,63 @@
+"""Code cache address allocation.
+
+Fragments live in the simulated code-cache region of the address space
+(disjoint from all application regions — part of transparency).  A
+thread's cache is split into a basic-block cache and a trace cache,
+mirroring Section 2.  Allocation is a bump allocator; when a capacity
+limit is configured and reached, the whole unit is flushed (the
+coarse-grained strategy the paper describes for DELI, and DynamoRIO's
+own fallback), with a callback so the runtime can delete fragment
+bookkeeping.
+"""
+
+from repro.machine.errors import MachineFault
+
+
+class CacheFullError(Exception):
+    """Internal signal: allocation exceeded the configured limit."""
+
+
+class CacheUnit:
+    """One bump-allocated cache (bb or trace) for one thread."""
+
+    def __init__(self, name, base, limit=None):
+        self.name = name
+        self.base = base
+        self.limit = limit
+        self.cursor = base
+        self.fragments = {}  # tag -> Fragment
+
+    def used(self):
+        return self.cursor - self.base
+
+    def allocate(self, fragment):
+        # An empty cache always accepts (a single fragment larger than
+        # the configured limit must still be placeable after a flush).
+        if (
+            self.limit is not None
+            and self.used() + fragment.size > self.limit
+            and self.fragments
+        ):
+            raise CacheFullError(self.name)
+        fragment.cache_addr = self.cursor
+        self.cursor += fragment.size
+        self.fragments[fragment.tag] = fragment
+        return fragment.cache_addr
+
+    def lookup(self, tag):
+        return self.fragments.get(tag)
+
+    def remove(self, fragment):
+        existing = self.fragments.get(fragment.tag)
+        if existing is fragment:
+            del self.fragments[fragment.tag]
+
+    def flush(self):
+        """Drop everything; returns the fragments that were resident."""
+        dropped = list(self.fragments.values())
+        self.fragments.clear()
+        self.cursor = self.base
+        return dropped
+
+    def __len__(self):
+        return len(self.fragments)

@@ -1,0 +1,321 @@
+"""The in-cache execution engine.
+
+Executes fragment op streams against the application's CPU/memory,
+chaining through linked exits without leaving the cache; returns to the
+dispatcher only on an unlinked exit or an IBL miss — the
+performance-critical dotted lines of the paper's Figure 1.
+
+Cycle charging:
+
+* every op carries its pre-computed instruction cost;
+* taken control transfers add the hardware taken-branch penalty;
+* indirect branches resolved in-cache pay ``ibl_lookup`` (the hashtable)
+  or the per-pair compare cost when a trace-inlined check/dispatch hits;
+* unlinked exits pay the exit stub and a full context switch.
+
+The engine reads ``fragment.code`` once into a local — so a fragment
+replaced mid-execution (adaptive optimization) keeps running its old
+code until the next exit, exactly the paper's replacement semantics.
+"""
+
+from repro.core.emit import (
+    CLEAN_CALL_COST,
+    OP_CALL_EXIT,
+    OP_CALL_INLINE,
+    OP_CLEAN_CALL,
+    OP_COND_EXIT,
+    OP_EXEC,
+    OP_IND_CHECK,
+    OP_IND_EXIT,
+    OP_JMP_EXIT,
+    OP_LOCAL_BR,
+)
+from repro.machine.errors import MachineFault
+from repro.machine.exec_ops import execute_noncti, read_operand
+from repro.machine.system import pop_signal_frame
+
+_MASK32 = 0xFFFFFFFF
+
+# Exit reasons returned to the dispatcher.
+EXIT_DISPATCH = "dispatch"  # unlinked exit; next_tag + stub
+EXIT_IBL_MISS = "ibl_miss"  # indirect target not in table
+
+
+class CacheExit(Exception):
+    """Internal non-local exit used to unwind the op loop."""
+
+    def __init__(self, reason, next_tag, stub):
+        self.reason = reason
+        self.next_tag = next_tag
+        self.stub = stub
+
+
+class Executor:
+    """Executes fragments for one runtime (shared across its threads)."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.instructions = 0
+
+    # ------------------------------------------------------------ exit paths
+
+    def _run_stub_ops(self, stub_ops, cpu, mem, system, counter):
+        for op in stub_ops:
+            if op[0] == OP_CLEAN_CALL:
+                counter.cycles += op[2]
+                op[1](self.runtime.current_thread)
+            else:
+                counter.cycles += op[3]
+                execute_noncti(cpu, mem, system, op[1], op[2])
+
+    def _direct_exit(self, stub, cpu, mem, system):
+        """Leave through a direct exit; returns the next fragment or
+        raises CacheExit back to the dispatcher."""
+        runtime = self.runtime
+        counter = runtime.counter
+        linked = stub.linked_to
+        if linked is not None and not stub.always_stub:
+            return linked
+        if stub.stub_ops:
+            self._run_stub_ops(stub.stub_ops, cpu, mem, system, counter)
+        if stub.always_stub and linked is not None:
+            return linked
+        counter.cycles += runtime.cost.context_switch
+        runtime.stats.context_switches += 1
+        raise CacheExit(EXIT_DISPATCH, stub.target_tag, stub)
+
+    def _indirect_exit(self, stub, target, cpu, mem, system):
+        runtime = self.runtime
+        counter = runtime.counter
+        stats = runtime.stats
+        if runtime.options.link_indirect:
+            counter.cycles += runtime.cost.ibl_lookup
+            fragment = runtime.current_thread.ibl.lookup(target)
+            if fragment is not None:
+                stats.ibl_hits += 1
+                return fragment
+            stats.ibl_misses += 1
+        if stub is not None and stub.stub_ops:
+            self._run_stub_ops(stub.stub_ops, cpu, mem, system, counter)
+        counter.cycles += runtime.cost.context_switch
+        stats.context_switches += 1
+        raise CacheExit(EXIT_IBL_MISS, target, stub)
+
+    # ------------------------------------------------------------- main loop
+
+    def run(self, fragment, single_step=False, budget=None, deadline=None):
+        """Execute starting at ``fragment``; chain until an unlinked
+        exit (or after one fragment when ``single_step``, or once the
+        thread's instruction ``deadline`` passes — the scheduler's
+        quantum boundary).
+
+        Returns ``(reason, next_tag, stub)``.  Raises ProgramExit when
+        the application ends, MachineFault on machine errors.
+        """
+        runtime = self.runtime
+        thread = runtime.current_thread
+        cpu = thread.cpu
+        mem = runtime.memory
+        system = runtime.system
+        counter = runtime.counter
+        cost = runtime.cost
+        taken_penalty = cost.taken_branch_penalty
+        regs = cpu.regs
+
+        try:
+            first = True
+            while True:
+                if budget is not None and self.instructions > budget:
+                    raise MachineFault(
+                        "instruction budget exhausted (%d)" % budget
+                    )
+                if system.alarm_in is not None or system.alarm_at is not None:
+                    system.convert_alarm(self.instructions)
+                    if not first and system.alarm_due(self.instructions):
+                        # pending signal: deliver from the dispatcher at
+                        # this fragment boundary (the safe point)
+                        raise CacheExit(EXIT_DISPATCH, fragment.tag, None)
+                if not first and (
+                    (deadline is not None and self.instructions >= deadline)
+                    or runtime._need_reschedule
+                ):
+                    # Quantum expired (or a thread was spawned) at a
+                    # fragment boundary: back to the scheduler, without a
+                    # context-switch charge (the dispatcher charges the
+                    # thread switch).
+                    raise CacheExit(EXIT_DISPATCH, fragment.tag, None)
+                first = False
+                counter.cycles += cost.fragment_entry
+                code = fragment.code
+                exits = fragment.exits
+                n = len(code)
+                i = 0
+                next_fragment = None
+                while i < n:
+                    op = code[i]
+                    kind = op[0]
+                    if kind == OP_EXEC:
+                        counter.cycles += op[3]
+                        self.instructions += 1
+                        execute_noncti(cpu, mem, system, op[1], op[2])
+                        i += 1
+                        continue
+                    if kind == OP_COND_EXIT:
+                        self.instructions += 1
+                        if cpu.condition_holds(op[1]):
+                            counter.cycles += op[3] + taken_penalty
+                            next_fragment = self._direct_exit(
+                                exits[op[2]], cpu, mem, system
+                            )
+                            break
+                        counter.cycles += op[3]
+                        i += 1
+                        continue
+                    if kind == OP_JMP_EXIT:
+                        self.instructions += 1
+                        counter.cycles += op[2] + taken_penalty
+                        next_fragment = self._direct_exit(
+                            exits[op[1]], cpu, mem, system
+                        )
+                        break
+                    if kind == OP_CALL_EXIT:
+                        self.instructions += 1
+                        counter.cycles += op[3] + taken_penalty
+                        regs[4] = (regs[4] - 4) & _MASK32
+                        mem.write_u32(regs[4], op[2])
+                        next_fragment = self._direct_exit(
+                            exits[op[1]], cpu, mem, system
+                        )
+                        break
+                    if kind == OP_CALL_INLINE:
+                        # Inlined call in a trace: push and fall through
+                        # (no taken penalty — superior trace layout).
+                        self.instructions += 1
+                        counter.cycles += op[2]
+                        regs[4] = (regs[4] - 4) & _MASK32
+                        mem.write_u32(regs[4], op[1])
+                        i += 1
+                        continue
+                    if kind == OP_IND_EXIT:
+                        self.instructions += 1
+                        (
+                            _k,
+                            exit_idx,
+                            operand,
+                            is_call,
+                            ret_addr,
+                            profiler,
+                            checker,
+                            c,
+                        ) = op
+                        if operand == "ret":
+                            target = mem.read_u32(regs[4])
+                            regs[4] = (regs[4] + 4) & _MASK32
+                        elif operand == "iret":
+                            target = pop_signal_frame(cpu, mem)
+                        else:
+                            target = read_operand(cpu, mem, operand)
+                        if checker is not None:
+                            counter.cycles += CLEAN_CALL_COST
+                            runtime.stats.clean_calls += 1
+                            checker(thread, target)
+                        if is_call:
+                            regs[4] = (regs[4] - 4) & _MASK32
+                            mem.write_u32(regs[4], ret_addr)
+                        counter.cycles += c + taken_penalty
+                        if profiler is not None:
+                            counter.cycles += CLEAN_CALL_COST
+                            runtime.stats.clean_calls += 1
+                            profiler(thread, target)
+                        next_fragment = self._indirect_exit(
+                            exits[exit_idx], target, cpu, mem, system
+                        )
+                        break
+                    if kind == OP_IND_CHECK:
+                        self.instructions += 1
+                        (
+                            _k,
+                            ibl_idx,
+                            operand,
+                            expected,
+                            dispatch,
+                            is_call,
+                            ret_addr,
+                            profiler,
+                            checker,
+                            c,
+                            check_cost,
+                        ) = op
+                        if operand == "ret":
+                            target = mem.read_u32(regs[4])
+                            regs[4] = (regs[4] + 4) & _MASK32
+                        elif operand == "iret":
+                            target = pop_signal_frame(cpu, mem)
+                        else:
+                            target = read_operand(cpu, mem, operand)
+                        if checker is not None:
+                            counter.cycles += CLEAN_CALL_COST
+                            runtime.stats.clean_calls += 1
+                            checker(thread, target)
+                        if is_call:
+                            regs[4] = (regs[4] - 4) & _MASK32
+                            mem.write_u32(regs[4], ret_addr)
+                        counter.cycles += c
+                        if target == expected:
+                            runtime.stats.inline_check_hits += 1
+                            i += 1
+                            continue
+                        matched = None
+                        for tag, exit_idx in dispatch:
+                            counter.cycles += check_cost
+                            if target == tag:
+                                matched = exit_idx
+                                break
+                        if matched is not None:
+                            runtime.stats.dispatch_check_hits += 1
+                            counter.cycles += taken_penalty
+                            next_fragment = self._direct_exit(
+                                exits[matched], cpu, mem, system
+                            )
+                            break
+                        if profiler is not None:
+                            counter.cycles += CLEAN_CALL_COST
+                            runtime.stats.clean_calls += 1
+                            profiler(thread, target)
+                        counter.cycles += taken_penalty
+                        next_fragment = self._indirect_exit(
+                            exits[ibl_idx], target, cpu, mem, system
+                        )
+                        break
+                    if kind == OP_LOCAL_BR:
+                        self.instructions += 1
+                        _k, jcc, target_index, c = op
+                        if jcc is None or cpu.condition_holds(jcc):
+                            counter.cycles += c + taken_penalty
+                            i = target_index
+                        else:
+                            counter.cycles += c
+                            i += 1
+                        continue
+                    if kind == OP_CLEAN_CALL:
+                        counter.cycles += op[2]
+                        runtime.stats.clean_calls += 1
+                        op[1](thread)
+                        i += 1
+                        continue
+                    raise MachineFault("unknown fragment op kind %r" % (kind,))
+                else:
+                    # Fell off the end of a fragment: only legal when the
+                    # last op was an elided continuation — fragments are
+                    # built so this cannot happen.
+                    raise MachineFault(
+                        "fragment 0x%x fell through without an exit"
+                        % fragment.tag
+                    )
+
+                # A linked (or IBL-hit) transfer: continue in the cache.
+                if single_step:
+                    raise CacheExit(EXIT_DISPATCH, next_fragment.tag, None)
+                fragment = next_fragment
+        except CacheExit as exit_:
+            return exit_.reason, exit_.next_tag, exit_.stub

@@ -1,0 +1,42 @@
+"""Indirect branch lookup (IBL) table.
+
+The in-cache hashtable that translates an application target address to
+its code-cache fragment.  The paper calls this lookup "the single
+greatest source of overhead in DynamoRIO"; its cycle cost is the
+``ibl_lookup`` parameter of the cost model, charged by the executor on
+every lookup.
+
+Trace heads are deliberately *not* present: entries reaching a trace
+head must come back to the dispatcher so the head's execution counter
+advances (the same reason trace heads stay unlinked).
+"""
+
+
+class IndirectBranchTable:
+    """tag → Fragment map with hit/miss accounting hooks."""
+
+    def __init__(self):
+        self._table = {}
+
+    def lookup(self, tag):
+        return self._table.get(tag)
+
+    def insert(self, fragment):
+        self._table[fragment.tag] = fragment
+
+    def remove(self, fragment):
+        existing = self._table.get(fragment.tag)
+        if existing is fragment:
+            del self._table[fragment.tag]
+
+    def remove_tag(self, tag):
+        self._table.pop(tag, None)
+
+    def clear(self):
+        self._table.clear()
+
+    def __len__(self):
+        return len(self._table)
+
+    def __contains__(self, tag):
+        return tag in self._table

@@ -1,0 +1,83 @@
+"""Runtime configuration.
+
+The five presets reproduce the rows of the paper's Table 1: each adds
+one mechanism to the previous configuration.
+"""
+
+
+class RuntimeOptions:
+    """All runtime knobs; instances are plain mutable objects."""
+
+    def __init__(
+        self,
+        bb_cache=True,
+        link_direct=True,
+        link_indirect=True,
+        traces=True,
+        trace_threshold=20,
+        max_trace_bbs=16,
+        max_bb_instrs=256,
+        thread_private=True,
+        code_cache_limit=None,
+        sideline_optimization=False,
+    ):
+        # Table 1 mechanisms, cumulative.
+        self.bb_cache = bb_cache
+        self.link_direct = link_direct
+        self.link_indirect = link_indirect
+        self.traces = traces
+        # Trace construction parameters.
+        self.trace_threshold = trace_threshold
+        self.max_trace_bbs = max_trace_bbs
+        self.max_bb_instrs = max_bb_instrs
+        # Cache organization.
+        self.thread_private = thread_private
+        self.code_cache_limit = code_cache_limit  # bytes, None = unlimited
+        # Sideline optimization (the paper's Section 3.4 future work):
+        # trace construction and client trace processing run on an idle
+        # processor, so their cycles leave the application's critical
+        # path (tracked separately as the "sideline_cycles" event).
+        self.sideline_optimization = sideline_optimization
+
+    def copy(self):
+        new = RuntimeOptions()
+        new.__dict__.update(self.__dict__)
+        return new
+
+    # ------------------------------------------------------ Table 1 presets
+
+    @classmethod
+    def emulation(cls):
+        """Row 1: pure emulation, no code cache at all."""
+        return cls(bb_cache=False, link_direct=False, link_indirect=False, traces=False)
+
+    @classmethod
+    def bb_cache_only(cls):
+        """Row 2: basic block cache, every exit context-switches."""
+        return cls(bb_cache=True, link_direct=False, link_indirect=False, traces=False)
+
+    @classmethod
+    def with_direct_links(cls):
+        """Row 3: + direct branch linking."""
+        return cls(bb_cache=True, link_direct=True, link_indirect=False, traces=False)
+
+    @classmethod
+    def with_indirect_links(cls):
+        """Row 4: + in-cache indirect branch lookup."""
+        return cls(bb_cache=True, link_direct=True, link_indirect=True, traces=False)
+
+    @classmethod
+    def with_traces(cls):
+        """Row 5: + traces (the full default configuration)."""
+        return cls()
+
+    @classmethod
+    def default(cls):
+        return cls()
+
+    def __repr__(self):
+        flags = []
+        for name in ("bb_cache", "link_direct", "link_indirect", "traces"):
+            if getattr(self, name):
+                flags.append(name)
+        return "<RuntimeOptions %s>" % "+".join(flags or ["emulation"])

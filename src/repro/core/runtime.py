@@ -1,0 +1,531 @@
+"""The DynamoRIO runtime: dispatch loop, building, linking, traces.
+
+``DynamoRIO(process, options, client).run()`` executes an unmodified
+application image under the code cache, producing the same observable
+behavior as native execution (output bytes + exit code) while charging
+the runtime's overhead events to the cycle counter.
+
+The flow mirrors the paper's Figure 1: dispatch looks up the next tag;
+misses build a basic block (calling the client's basic-block hook);
+direct exits are linked; trace heads are counted and hot heads trigger
+trace generation mode, whose blocks are stitched into a trace (calling
+the client's trace hook) that shadows its head.
+"""
+
+from collections import namedtuple
+
+from repro.core.bb_builder import block_instr_count, build_basic_block
+from repro.core.code_cache import CacheFullError
+from repro.core.emit import emit_fragment
+from repro.core.execute import EXIT_DISPATCH, EXIT_IBL_MISS, Executor
+from repro.core.fragments import Fragment, LinkStub
+from repro.core.options import RuntimeOptions
+from repro.core.stats import RuntimeStats
+from repro.core.threads import ThreadContext
+from repro.core.trace_builder import (
+    CONTINUE_TRACE,
+    DEFAULT_TRACE_END,
+    END_TRACE,
+    TraceRecording,
+    default_end_of_trace,
+    stitch_trace,
+)
+from repro.machine.cost import CostModel, CycleCounter
+from repro.machine.errors import MachineFault, ProgramExit
+from repro.machine.interp import DEFAULT_MAX_INSTRUCTIONS, Interpreter, RunResult
+from repro.machine.system import System, ThreadExit, push_signal_frame
+
+
+class DynamoRIO:
+    """The runtime system coupling a process, options, and a client."""
+
+    def __init__(self, process, options=None, client=None, cost_model=None):
+        self.process = process
+        self.memory = process.memory
+        self.options = options if options is not None else RuntimeOptions.default()
+        self.client = client
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.system = System()
+        self.counter = CycleCounter()
+        self.stats = RuntimeStats()
+        self._register_runtime_regions()
+        lay = process.layout
+        self.threads = []
+        self.current_thread = self._new_thread(lay)
+        self.executor = Executor(self)
+        # Tags the client marked as trace heads before fragments exist.
+        self.pending_trace_heads = set()
+        self._client_initialized = False
+        self._need_reschedule = False
+
+    def _register_runtime_regions(self):
+        lay = self.process.layout
+        names = {r.name for r in self.memory.regions()}
+        if "runtime_heap" not in names:
+            self.memory.add_region(
+                "runtime_heap", lay.RUNTIME_HEAP_BASE, lay.RUNTIME_HEAP_SIZE
+            )
+        if "code_cache" not in names:
+            self.memory.add_region(
+                "code_cache", lay.CODE_CACHE_BASE, lay.CODE_CACHE_SIZE
+            )
+
+    def _new_thread(self, lay):
+        base = lay.CODE_CACHE_BASE + len(self.threads) * 0x100000
+        thread = ThreadContext(
+            self, base, cache_limit=self.options.code_cache_limit
+        )
+        self.threads.append(thread)
+        return thread
+
+    # ------------------------------------------------------------ client glue
+
+    def _client_init(self):
+        if self.client is not None and not self._client_initialized:
+            self._client_initialized = True
+            self.client.attach(self)
+            self.client.init()
+            self.client.thread_init(self.current_thread)
+
+    def _client_exit(self):
+        if self.client is not None and self._client_initialized:
+            self.client.thread_exit(self.current_thread)
+            self.client.exit()
+
+    # -------------------------------------------------------------- building
+
+    def _build_bb(self, tag):
+        thread = self.current_thread
+        ilist = build_basic_block(
+            self.memory, tag, max_instrs=self.options.max_bb_instrs
+        )
+        count = block_instr_count(ilist)
+        self.counter.cycles += (
+            self.cost.bb_build_base + self.cost.bb_build_per_instr * count
+        )
+        if not self.options.thread_private and len(self.threads) > 1:
+            self.counter.charge(self.cost.shared_cache_sync, "cache_sync")
+        if self.client is not None:
+            self.stats.client_bb_hooks += 1
+            self.counter.cycles += self.cost.client_bb_hook_per_instr * count
+            self.client.basic_block(thread, tag, ilist)
+        fragment = emit_fragment(
+            tag, Fragment.KIND_BB, ilist, self.cost, self.options, self.stats
+        )
+        if tag in self.pending_trace_heads:
+            fragment.is_trace_head = True
+        self._place(thread.bb_cache, fragment)
+        self.stats.bbs_built += 1
+        # Trace heads are kept out of the IBL so every entry is counted.
+        if not fragment.is_trace_head:
+            thread.ibl.insert(fragment)
+        return fragment
+
+    def _place(self, cache, fragment):
+        try:
+            cache.allocate(fragment)
+        except CacheFullError:
+            self._flush_cache(cache)
+            self.stats.cache_evictions += 1
+            cache.allocate(fragment)
+
+    def _flush_cache(self, cache):
+        thread = self.current_thread
+        for fragment in cache.flush():
+            self._delete_fragment(fragment, from_cache=False)
+
+    def _delete_fragment(self, fragment, from_cache=True):
+        thread = self.current_thread
+        fragment.deleted = True
+        thread.ibl.remove(fragment)
+        if from_cache:
+            cache = thread.trace_cache if fragment.is_trace else thread.bb_cache
+            cache.remove(fragment)
+        for stub in fragment.incoming:
+            if stub.linked_to is fragment:
+                stub.linked_to = None
+        fragment.incoming = []
+        for stub in fragment.exits:
+            if stub.linked_to is not None:
+                try:
+                    stub.linked_to.incoming.remove(stub)
+                except ValueError:
+                    pass
+                stub.linked_to = None
+        self.stats.fragments_deleted += 1
+        if self.client is not None:
+            self.client.fragment_deleted(thread, fragment.tag)
+
+    # --------------------------------------------------------------- linking
+
+    def _maybe_link(self, stub, target_fragment):
+        if stub is None or stub.kind != LinkStub.KIND_DIRECT:
+            return
+        if not self.options.link_direct:
+            return
+        if stub.fragment.deleted or stub.linked_to is not None:
+            return
+        # Trace heads stay unlinked so their counters keep advancing.
+        if target_fragment.is_trace_head and not target_fragment.is_trace:
+            return
+        stub.linked_to = target_fragment
+        target_fragment.incoming.append(stub)
+        self.counter.cycles += self.cost.link_cost
+        self.stats.direct_links += 1
+
+    # ----------------------------------------------------------- trace heads
+
+    def mark_trace_head(self, tag):
+        """Client API: dr_mark_trace_head."""
+        self.pending_trace_heads.add(tag)
+        fragment = self.current_thread.bb_cache.lookup(tag)
+        if fragment is not None and not fragment.is_trace_head:
+            fragment.is_trace_head = True
+            self.current_thread.ibl.remove(fragment)
+            # unlink incoming so entries flow through dispatch
+            for stub in fragment.incoming:
+                if stub.linked_to is fragment:
+                    stub.linked_to = None
+            fragment.incoming = []
+
+    def _note_branch_origin(self, stub, target_fragment):
+        """Default trace-head detection: targets of backward branches
+        and exits of existing traces (Section 3.5)."""
+        if not self.options.traces:
+            return
+        if target_fragment.is_trace or target_fragment.is_trace_head:
+            return
+        if stub is None:
+            return
+        src = stub.fragment
+        if src.is_trace:
+            self._make_trace_head(target_fragment)
+            return
+        # Backward-branch heuristic: direct non-call branches only.
+        if (
+            stub.kind == LinkStub.KIND_DIRECT
+            and not stub.is_call_exit
+            and target_fragment.tag <= src.tag
+        ):
+            self._make_trace_head(target_fragment)
+
+    def _make_trace_head(self, fragment):
+        if fragment.is_trace_head:
+            return
+        fragment.is_trace_head = True
+        thread = self.current_thread
+        thread.ibl.remove(fragment)
+        for stub in fragment.incoming:
+            if stub.linked_to is fragment:
+                stub.linked_to = None
+        fragment.incoming = []
+
+    # ---------------------------------------------------------------- traces
+
+    def _finalize_trace(self, recording):
+        thread = self.current_thread
+        ilist = stitch_trace(recording)
+        ilist.decode_all()
+        count = ilist.instr_count()
+        build_cycles = (
+            self.cost.trace_build_base + self.cost.trace_build_per_instr * count
+        )
+        if self.options.sideline_optimization:
+            # Section 3.4: optimization runs in a concurrent thread on
+            # an idle processor; only fragment replacement touches the
+            # application thread, so build cycles leave the critical
+            # path.
+            self.counter.events["sideline_cycles"] = (
+                self.counter.events.get("sideline_cycles", 0) + build_cycles
+            )
+        else:
+            self.counter.cycles += build_cycles
+        if not self.options.thread_private and len(self.threads) > 1:
+            self.counter.charge(self.cost.shared_cache_sync, "cache_sync")
+        if self.client is not None:
+            self.stats.client_trace_hooks += 1
+            hook_cycles = self.cost.client_trace_hook_per_instr * count
+            if self.options.sideline_optimization:
+                self.counter.events["sideline_cycles"] = (
+                    self.counter.events.get("sideline_cycles", 0) + hook_cycles
+                )
+            else:
+                self.counter.cycles += hook_cycles
+            self.client.trace(thread, recording.head_tag, ilist)
+        fragment = emit_fragment(
+            recording.head_tag,
+            Fragment.KIND_TRACE,
+            ilist,
+            self.cost,
+            self.options,
+            self.stats,
+        )
+        self._place(thread.trace_cache, fragment)
+        thread.ibl.insert(fragment)
+        self.stats.traces_built += 1
+        # Shadow the head bb: redirect its incoming links to the trace.
+        head_bb = thread.bb_cache.lookup(recording.head_tag)
+        if head_bb is not None:
+            for stub in head_bb.incoming:
+                if stub.linked_to is head_bb:
+                    stub.linked_to = fragment
+                    fragment.incoming.append(stub)
+            head_bb.incoming = []
+        thread.trace_in_progress = None
+        return fragment
+
+    def _client_end_trace(self, recording, next_tag):
+        if self.client is None:
+            return DEFAULT_TRACE_END
+        return self.client.end_trace(
+            self.current_thread, recording.head_tag, next_tag
+        )
+
+    # ------------------------------------------------------------------ run
+
+    def _spawn_app_thread(self, entry, stack_pointer):
+        """SYS_SPAWN handler: create a thread with its own (private)
+        code caches — or shared ones in the ablation configuration."""
+        lay = self.process.layout
+        if self.options.thread_private:
+            thread = self._new_thread(lay)
+        else:
+            base = lay.CODE_CACHE_BASE + len(self.threads) * 0x100000
+            thread = ThreadContext(
+                self,
+                base,
+                cache_limit=self.options.code_cache_limit,
+                share_from=self.threads[0],
+            )
+            self.threads.append(thread)
+        thread.cpu.pc = entry & 0xFFFFFFFF
+        thread.cpu.regs[4] = stack_pointer & 0xFFFFFFFF
+        thread.resume_tag = thread.cpu.pc
+        self.counter.count("threads_spawned")
+        # the running thread must yield so the new one gets scheduled
+        self._need_reschedule = True
+        if self.client is not None:
+            self.client.thread_init(thread)
+
+    def run(self, entry=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+            quantum=100):
+        """Run the application under the runtime; returns a RunResult."""
+        if not self.options.bb_cache:
+            # Table 1 row 1: pure emulation (no cache, no client hooks).
+            interp = Interpreter(self.process, self.cost, mode="emulation")
+            return interp.run(entry=entry, max_instructions=max_instructions)
+
+        self._client_init()
+        main = self.current_thread
+        main.cpu.pc = self.process.entry if entry is None else entry
+        main.cpu.regs[4] = self.process.initial_stack_pointer()
+        main.resume_tag = main.cpu.pc
+        self.system.spawn_thread = self._spawn_app_thread
+        self._need_reschedule = False
+        exit_code = None
+        rotor = 0
+        try:
+            while True:
+                alive = [t for t in self.threads if not t.exited]
+                if not alive:
+                    break
+                thread = alive[rotor % len(alive)]
+                rotor += 1
+                multi = len(alive) > 1
+                if multi:
+                    self.counter.charge(
+                        self.cost.thread_switch, "thread_switches"
+                    )
+                self.current_thread = thread
+                self._need_reschedule = False
+                try:
+                    self._dispatch(
+                        thread,
+                        # A lone thread runs without a quantum; the
+                        # reschedule flag breaks it out when it spawns.
+                        deadline=(
+                            self.executor.instructions + quantum
+                            if multi
+                            else None
+                        ),
+                        max_instructions=max_instructions,
+                    )
+                except ThreadExit:
+                    thread.exited = True
+                    if self.client is not None:
+                        self.client.thread_exit(thread)
+        except ProgramExit as exit_:
+            exit_code = exit_.code
+        finally:
+            self.current_thread = self.threads[0]
+            self._client_exit()
+        return RunResult(
+            cycles=self.counter.cycles,
+            instructions=self.executor.instructions,
+            output=self.system.output_bytes(),
+            exit_code=exit_code,
+            events=self._events(),
+        )
+
+    def _dispatch(self, thread, deadline, max_instructions):
+        """The dispatch loop (Figure 1), bounded by the thread quantum."""
+        tag = thread.resume_tag
+        prev_stub = thread.prev_stub
+        system = self.system
+        try:
+            while (
+                deadline is None or self.executor.instructions < deadline
+            ) and not self._need_reschedule:
+                # Signal interception (Section 2): deliver pending alarm
+                # signals here, at the dispatcher — the handler then runs
+                # under the code cache like all application code.
+                system.convert_alarm(self.executor.instructions)
+                if system.alarm_due(self.executor.instructions) and (
+                    system.signal_handler
+                ):
+                    tag = self._deliver_signal(thread, tag)
+                    prev_stub = None
+                self.counter.cycles += self.cost.dispatch
+                fragment = thread.lookup_fragment(tag)
+                if fragment is None:
+                    fragment = self._build_bb(tag)
+                self._note_branch_origin(prev_stub, fragment)
+                self._maybe_link(prev_stub, fragment)
+
+                recording = thread.trace_in_progress
+                if recording is not None:
+                    fragment, recording = self._trace_mode_step(
+                        fragment, recording
+                    )
+                elif (
+                    self.options.traces
+                    and fragment.is_trace_head
+                    and not fragment.is_trace
+                ):
+                    fragment.head_counter += 1
+                    self.stats.trace_head_counts += 1
+                    if fragment.head_counter >= self.options.trace_threshold:
+                        recording = TraceRecording(fragment.tag)
+                        thread.trace_in_progress = recording
+                        recording.append(fragment)
+
+                reason, next_tag, stub = self.executor.run(
+                    fragment,
+                    single_step=recording is not None,
+                    budget=max_instructions,
+                    deadline=deadline,
+                )
+                tag = next_tag
+                prev_stub = stub
+        finally:
+            thread.resume_tag = tag
+            thread.prev_stub = prev_stub
+
+    def _trace_mode_step(self, fragment, recording):
+        """In trace generation mode: decide whether ``fragment`` extends
+        the trace or terminates it.  Returns the (possibly replaced)
+        fragment to execute and the current recording (or None)."""
+        thread = self.current_thread
+        last = recording.entries[-1]
+        decision = self._client_end_trace(recording, fragment.tag)
+        end = False
+        if decision == END_TRACE:
+            end = True
+        elif decision == CONTINUE_TRACE:
+            end = False
+        else:
+            end = default_end_of_trace(recording, last, fragment.tag, thread)
+        if len(recording) >= self.options.max_trace_bbs:
+            end = True
+        if fragment.is_trace:
+            end = True
+        if end:
+            trace = self._finalize_trace(recording)
+            # If the trace begins where we are about to execute, run it.
+            if trace.tag == fragment.tag:
+                return trace, None
+            return fragment, None
+        recording.append(fragment)
+        return fragment, recording
+
+    def _deliver_signal(self, thread, interrupted_tag):
+        """Redirect the thread to the signal handler.
+
+        The *application* pc (the interrupted tag) and eflags go on the
+        application stack — never a code-cache address (transparency);
+        the handler address becomes the next dispatch target.
+        """
+        cpu = thread.cpu
+        push_signal_frame(cpu, self.memory, interrupted_tag)
+        self.system.clear_alarm()
+        self.system.signals_delivered += 1
+        self.counter.charge(self.cost.signal_delivery, "signals_delivered")
+        return self.system.signal_handler
+
+    def _events(self):
+        events = dict(self.counter.events)
+        events.update(self.stats.as_dict())
+        seen = set()
+        bb_total = trace_total = 0
+        for thread in self.threads:
+            if id(thread.bb_cache) in seen:
+                continue
+            seen.add(id(thread.bb_cache))
+            bb_total += len(thread.bb_cache)
+            trace_total += len(thread.trace_cache)
+        events["bb_cache_fragments"] = bb_total
+        events["trace_cache_fragments"] = trace_total
+        return events
+
+    # ------------------------------------------- adaptive optimization API
+
+    def decode_fragment(self, thread, tag):
+        """dr_decode_fragment: re-create the InstrList of a fragment."""
+        fragment = thread.lookup_fragment(tag)
+        if fragment is None:
+            return None
+        from repro.ir.instrlist import InstrList, copy_instructions
+
+        return InstrList(copy_instructions(fragment.instrs_source))
+
+    def replace_fragment(self, thread, tag, ilist):
+        """dr_replace_fragment: swap in a new version of a fragment.
+
+        All links targeting the old fragment move to the new one
+        immediately; a thread currently executing the old fragment
+        finishes its current pass through the old code (the executor
+        holds a snapshot) and picks up the new version at its next
+        entry — the paper's low-overhead replacement.
+        """
+        old = thread.lookup_fragment(tag)
+        if old is None:
+            return False
+        new = emit_fragment(
+            tag, old.kind, ilist, self.cost, self.options, self.stats
+        )
+        new.is_trace_head = old.is_trace_head
+        new.head_counter = old.head_counter
+        new.generation = old.generation + 1
+        cache = thread.trace_cache if old.is_trace else thread.bb_cache
+        cache.remove(old)
+        self._place(cache, new)
+        thread.ibl.remove(old)
+        if not (new.is_trace_head and not new.is_trace):
+            thread.ibl.insert(new)
+        # Re-point incoming links at the new fragment.
+        for stub in old.incoming:
+            if stub.linked_to is old:
+                stub.linked_to = new
+                new.incoming.append(stub)
+        old.incoming = []
+        # Outgoing links of the old fragment dissolve.
+        for stub in old.exits:
+            if stub.linked_to is not None:
+                try:
+                    stub.linked_to.incoming.remove(stub)
+                except ValueError:
+                    pass
+                stub.linked_to = None
+        old.deleted = True
+        self.stats.fragments_replaced += 1
+        return True

@@ -1,0 +1,30 @@
+"""Runtime statistics, merged into the final RunResult events."""
+
+
+class RuntimeStats:
+    """Plain named counters; attribute access keeps hot paths cheap."""
+
+    FIELDS = (
+        "bbs_built",
+        "traces_built",
+        "fragments_deleted",
+        "fragments_replaced",
+        "context_switches",
+        "direct_links",
+        "ibl_hits",
+        "ibl_misses",
+        "inline_check_hits",
+        "dispatch_check_hits",
+        "trace_head_counts",
+        "clean_calls",
+        "client_bb_hooks",
+        "client_trace_hooks",
+        "cache_evictions",
+    )
+
+    def __init__(self):
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.FIELDS}

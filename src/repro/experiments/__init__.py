@@ -1,0 +1,13 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+==================  =================================================
+``table1``          Table 1: emulation → cache → links → traces
+``table2``          Table 2: decode+encode time/memory per level
+``figure5``         Figure 5: normalized time per benchmark × client
+``ablations``       design-choice sweeps beyond the paper
+==================  =================================================
+
+Each module has a ``run()`` returning structured results and a
+``main()`` that prints the paper-style table; ``python -m
+repro.experiments.<name>`` runs it from the command line.
+"""

@@ -1,0 +1,89 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not in the paper, but each probes a knob the paper's design fixes:
+
+* **trace-head threshold** — too low builds cold traces, too high pays
+  counting overhead longer (Section 3.5's counter mechanism);
+* **code-cache capacity** — unlimited (the paper's configuration) vs
+  constrained caches with coarse flushing;
+* **dispatch chain length** — how many compare-and-branch pairs the
+  Section 4.3 client may install before the chain costs more than the
+  hashtable lookup it replaces;
+* **custom-trace maximum size** — Section 4.4's unrolling guard.
+"""
+
+from repro.clients import CustomTraces, IndirectBranchDispatch
+from repro.core import RuntimeOptions
+from repro.experiments.harness import Config, normalized_time
+
+
+def trace_threshold_sweep(name="crafty", scale="test", thresholds=(5, 20, 80, 320)):
+    results = {}
+    for threshold in thresholds:
+        def factory(_t=threshold):
+            opts = RuntimeOptions.with_traces()
+            opts.trace_threshold = _t
+            return opts
+
+        config = Config("threshold_%d" % threshold, factory)
+        results[threshold] = normalized_time(name, scale, config)
+    return results
+
+
+def cache_limit_sweep(name="crafty", scale="test", limits=(None, 4096, 1536)):
+    results = {}
+    for limit in limits:
+        def factory(_l=limit):
+            opts = RuntimeOptions.with_traces()
+            opts.code_cache_limit = _l
+            return opts
+
+        key = "cache_%s" % ("unlimited" if limit is None else limit)
+        results[limit] = normalized_time(name, scale, Config(key, factory))
+    return results
+
+
+def dispatch_targets_sweep(name="parser", scale="small", max_targets=(0, 2, 4, 8)):
+    """Run at 'small' scale: the adaptive rewrites need enough run
+    length to amortize their profiling clean calls."""
+    results = {}
+    for n in max_targets:
+        if n == 0:
+            config = Config("disp_0")  # no client at all
+        else:
+            config = Config(
+                "disp_%d" % n,
+                client_factory=lambda _n=n: IndirectBranchDispatch(max_targets=_n),
+            )
+        results[n] = normalized_time(name, scale, config)
+    return results
+
+
+def custom_trace_size_sweep(name="crafty", scale="test", sizes=(4, 12, 24)):
+    results = {}
+    for size in sizes:
+        config = Config(
+            "ctrace_%d" % size,
+            client_factory=lambda _s=size: CustomTraces(max_trace_blocks=_s),
+        )
+        results[size] = normalized_time(name, scale, config)
+    return results
+
+
+def main():
+    print("Ablation: trace-head threshold (crafty, normalized time)")
+    for threshold, value in trace_threshold_sweep().items():
+        print("  threshold=%4d  %.3f" % (threshold, value))
+    print("Ablation: code cache limit (crafty)")
+    for limit, value in cache_limit_sweep().items():
+        print("  limit=%-9s %.3f" % (limit, value))
+    print("Ablation: dispatch chain length (parser)")
+    for n, value in dispatch_targets_sweep().items():
+        print("  max_targets=%d  %.3f" % (n, value))
+    print("Ablation: custom trace max blocks (crafty)")
+    for size, value in custom_trace_size_sweep().items():
+        print("  max_blocks=%2d  %.3f" % (size, value))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Figure 5: normalized execution time per benchmark and client.
+
+Six bars per benchmark: base DynamoRIO, each of the four sample
+optimizations applied independently, and all four combined — on the
+Pentium 4 model, normalized to native execution (smaller is better).
+
+Paper shape to reproduce:
+
+* base DynamoRIO breaks even on many benchmarks, with the largest
+  slowdowns on indirect-branch-heavy ones;
+* redundant load removal is strongest on FP (mgrid ≈ 0.6×), mild on INT;
+* inc→add helps a number of benchmarks on the P4;
+* indirect-branch dispatch wins on indirect-heavy INT benchmarks;
+* custom traces win on call-heavy INT benchmarks;
+* perlbmk and gcc (multiple short runs, little re-use) *slow down*
+  under optimization — the time spent optimizing is never amortized;
+* combined: FP mean noticeably better than native; overall mean around
+  native, ≈ 12% better than base DynamoRIO.
+"""
+
+from repro.clients import (
+    CustomTraces,
+    IndirectBranchDispatch,
+    RedundantLoadRemoval,
+    StrengthReduction,
+    make_all_optimizations,
+)
+from repro.experiments.harness import Config, geometric_mean, normalized_time
+from repro.machine.cost import Family
+from repro.workloads import all_benchmarks, fp_benchmarks, int_benchmarks
+
+CONFIGS = [
+    ("base", Config("base")),
+    ("rlr", Config("rlr", client_factory=RedundantLoadRemoval)),
+    ("inc2add", Config("inc2add", client_factory=StrengthReduction)),
+    ("ibdisp", Config("ibdisp", client_factory=IndirectBranchDispatch)),
+    ("ctrace", Config("ctrace", client_factory=CustomTraces)),
+    ("all", Config("all", client_factory=make_all_optimizations)),
+]
+
+
+def run(scale="small", benchmarks=None):
+    """Returns {benchmark: {config: normalized_time}} plus means."""
+    names = benchmarks or [b.name for b in all_benchmarks()]
+    results = {}
+    for name in names:
+        results[name] = {
+            key: normalized_time(name, scale, config)
+            for key, config in CONFIGS
+        }
+    return results
+
+
+def summarize(results):
+    """Geometric means per suite and overall for each configuration."""
+    int_names = [b.name for b in int_benchmarks() if b.name in results]
+    fp_names = [b.name for b in fp_benchmarks() if b.name in results]
+    summary = {}
+    for key, _config in CONFIGS:
+        summary[key] = {
+            "int": geometric_mean([results[n][key] for n in int_names]),
+            "fp": geometric_mean([results[n][key] for n in fp_names]),
+            "all": geometric_mean([results[n][key] for n in results]),
+        }
+    return summary
+
+
+def main(scale="small", benchmarks=None):
+    results = run(scale, benchmarks)
+    header = "%-10s" + " %8s" * len(CONFIGS)
+    row = "%-10s" + " %8.3f" * len(CONFIGS)
+    print("Figure 5: normalized execution time (vs native, smaller is better)")
+    print(header % (("benchmark",) + tuple(k for k, _c in CONFIGS)))
+    for name in results:
+        print(row % ((name,) + tuple(results[name][k] for k, _c in CONFIGS)))
+    summary = summarize(results)
+    print("-" * 64)
+    for group in ("int", "fp", "all"):
+        print(
+            row
+            % (
+                ("mean-%s" % group,)
+                + tuple(summary[k][group] for k, _c in CONFIGS)
+            )
+        )
+    base_all = summary["base"]["all"]
+    combined_all = summary["all"]["all"]
+    print(
+        "combined vs base DynamoRIO: %.1f%% improvement (paper: 12%%)"
+        % ((1 - combined_all / base_all) * 100)
+    )
+    return results, summary
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(scale=sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,101 @@
+"""Shared experiment machinery.
+
+``measure(name, scale, configure)`` runs one benchmark under one
+configuration and returns total simulated cycles, handling the
+multiple-short-runs benchmarks (gcc, perlbmk): those are executed
+``runs`` times with cold caches, exactly like SPEC invoking the binary
+repeatedly — the effect behind the paper's perlbmk/gcc slowdowns.
+
+Results are memoized per (benchmark, scale, config-key) within a
+process so table and figure modules can share baseline runs.
+"""
+
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.cost import CostModel, Family
+from repro.machine.interp import Interpreter
+from repro.workloads import benchmark, load_benchmark
+
+
+class Config:
+    """One experimental configuration."""
+
+    def __init__(self, key, options_factory=None, client_factory=None,
+                 family=Family.PENTIUM_IV, native=False):
+        self.key = key
+        self.options_factory = options_factory or RuntimeOptions.with_traces
+        self.client_factory = client_factory
+        self.family = family
+        self.native = native
+
+    def __repr__(self):
+        return "<Config %s>" % self.key
+
+
+NATIVE = Config("native", native=True)
+
+_cache = {}
+
+
+def measure(name, scale, config):
+    """Total simulated cycles for ``name`` under ``config``.
+
+    Multi-run benchmarks are summed over their runs (native runs are
+    repeated too, so normalization stays fair).
+    """
+    cache_key = (name, scale, config.key, config.family)
+    if cache_key in _cache:
+        return _cache[cache_key]
+    bench = benchmark(name)
+    image = load_benchmark(name, scale)
+    total_cycles = 0
+    events = {}
+    outputs = []
+    for _run in range(bench.runs):
+        process = Process(image)
+        if config.native:
+            result = Interpreter(
+                process, CostModel(config.family), mode="native"
+            ).run()
+        else:
+            client = (
+                config.client_factory() if config.client_factory else None
+            )
+            runtime = DynamoRIO(
+                process,
+                options=config.options_factory(),
+                client=client,
+                cost_model=CostModel(config.family),
+            )
+            result = runtime.run()
+        total_cycles += result.cycles
+        outputs.append(result.output)
+        for key, value in result.events.items():
+            events[key] = events.get(key, 0) + value
+    measurement = {
+        "cycles": total_cycles,
+        "events": events,
+        "output": outputs[0],
+    }
+    _cache[cache_key] = measurement
+    return measurement
+
+
+def normalized_time(name, scale, config):
+    """Cycles under config / native cycles (the paper's metric)."""
+    native = measure(name, scale, NATIVE)
+    under = measure(name, scale, config)
+    if under["output"] != native["output"]:
+        raise AssertionError(
+            "transparency violated for %s under %s" % (name, config.key)
+        )
+    return under["cycles"] / native["cycles"]
+
+
+def geometric_mean(values):
+    if not values:
+        return float("nan")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,38 @@
+"""Instruction representation with adaptive levels of detail.
+
+This package implements the paper's Section 3.1: a basic block or trace
+is a linked list of :class:`~repro.ir.instr.Instr` nodes
+(:class:`~repro.ir.instrlist.InstrList`), and each ``Instr`` carries one
+of five levels of detail:
+
+=======  =============================================================
+Level 0  raw bytes of a *series* of instructions; only the final
+         boundary is recorded
+Level 1  raw bytes of a single instruction
+Level 2  opcode and eflags effects decoded (raw bytes still valid)
+Level 3  fully decoded operands, raw bytes still valid — encoding is a
+         byte copy
+Level 4  fully decoded, raw bytes invalid (modified or newly created) —
+         the only level that requires real encoding
+=======  =============================================================
+
+Levels adjust automatically: reading operands of a low-level ``Instr``
+decodes it up; modifying any operand invalidates the raw bits and moves
+it to Level 4.
+"""
+
+from repro.ir.levels import LEVEL_0, LEVEL_1, LEVEL_2, LEVEL_3, LEVEL_4
+from repro.ir.instr import Instr
+from repro.ir.instrlist import InstrList
+from repro.ir import create
+
+__all__ = [
+    "LEVEL_0",
+    "LEVEL_1",
+    "LEVEL_2",
+    "LEVEL_3",
+    "LEVEL_4",
+    "Instr",
+    "InstrList",
+    "create",
+]

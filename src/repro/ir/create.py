@@ -1,0 +1,80 @@
+"""Instruction-generation macros.
+
+The paper simplifies instruction creation with one macro per IA-32
+instruction that takes only the *explicit* operands and fills in the
+implicit ones.  This module generates the same surface for RIO-32:
+``INSTR_CREATE_add(dst, src)``, ``INSTR_CREATE_inc(dst)``,
+``INSTR_CREATE_jmp(target)``, …  The abstraction can be bypassed with
+:func:`instr_create_raw`, which takes an opcode and the full explicit
+operand list.
+
+Operand helpers mirror the paper's ``OPND_CREATE_*`` spellings.
+"""
+
+import sys
+
+from repro.ir.instr import Instr
+from repro.ir.shapes import explicit_arity
+from repro.isa.opcodes import Opcode, OP_INFO
+from repro.isa.operands import (
+    OPND_IMM8 as OPND_CREATE_INT8,
+    OPND_IMM32 as OPND_CREATE_INT32,
+    OPND_MEM as OPND_CREATE_MEM,
+    OPND_PC as OPND_CREATE_PC,
+    OPND_REG as OPND_CREATE_REG,
+)
+
+__all__ = [
+    "instr_create_raw",
+    "OPND_CREATE_INT8",
+    "OPND_CREATE_INT32",
+    "OPND_CREATE_MEM",
+    "OPND_CREATE_PC",
+    "OPND_CREATE_REG",
+]
+
+
+def instr_create_raw(opcode, *explicit):
+    """Create a Level-4 instruction from an opcode and explicit operands.
+
+    This bypasses the per-instruction macro layer, exactly like passing
+    an opcode and complete operand list in DynamoRIO.
+    """
+    return Instr.create(opcode, *explicit)
+
+
+def _make_creator(opcode, arity):
+    if arity == 0:
+
+        def create():
+            return Instr.create(opcode)
+
+    elif arity == 1:
+
+        def create(op0):
+            return Instr.create(opcode, op0)
+
+    else:
+
+        def create(op0, op1):
+            return Instr.create(opcode, op0, op1)
+
+    create.__name__ = "INSTR_CREATE_%s" % OP_INFO[opcode].name
+    create.__doc__ = "Create a Level-4 `%s` instruction (%d explicit operand%s)." % (
+        OP_INFO[opcode].name,
+        arity,
+        "" if arity == 1 else "s",
+    )
+    return create
+
+
+_module = sys.modules[__name__]
+_SANITIZED = {"jmp*": "jmp_ind", "call*": "call_ind", "<label>": None}
+for _opcode, _info in OP_INFO.items():
+    _name = _SANITIZED.get(_info.name, _info.name)
+    if _name is None:
+        continue
+    _fn = _make_creator(_opcode, explicit_arity(_opcode))
+    _attr = "INSTR_CREATE_%s" % _name
+    setattr(_module, _attr, _fn)
+    __all__.append(_attr)

@@ -1,0 +1,299 @@
+"""InstrList: a doubly-linked list of instructions with linear control flow.
+
+Basic blocks and traces are both InstrLists: single entrance, possibly
+multiple exits, **no internal join points** — transfers of control that
+originate inside must exit the list.  This restriction (paper Section 3.1)
+is what keeps client analyses cheap; it is enforced here by construction:
+the only intra-list targets allowed are forward references to LABEL
+pseudo-instructions via :class:`~repro.ir.instr.LabelRef`.
+"""
+
+from repro.ir.instr import Instr, LabelRef
+
+
+class InstrList:
+    """Doubly-linked list of :class:`Instr` nodes."""
+
+    def __init__(self, instrs=()):
+        self._first = None
+        self._last = None
+        self._count = 0
+        for instr in instrs:
+            self.append(instr)
+
+    # ------------------------------------------------------------- structure
+
+    def first(self):
+        return self._first
+
+    def last(self):
+        return self._last
+
+    def __len__(self):
+        return self._count
+
+    def __iter__(self):
+        node = self._first
+        while node is not None:
+            # capture next before yielding so callers may remove/replace
+            nxt = node.next
+            yield node
+            node = nxt
+
+    def __bool__(self):
+        return self._first is not None
+
+    def append(self, instr):
+        self._check_unlinked(instr)
+        instr.owner = self
+        instr.prev = self._last
+        instr.next = None
+        if self._last is not None:
+            self._last.next = instr
+        else:
+            self._first = instr
+        self._last = instr
+        self._count += 1
+        return instr
+
+    def prepend(self, instr):
+        self._check_unlinked(instr)
+        instr.owner = self
+        instr.next = self._first
+        instr.prev = None
+        if self._first is not None:
+            self._first.prev = instr
+        else:
+            self._last = instr
+        self._first = instr
+        self._count += 1
+        return instr
+
+    def insert_after(self, where, instr):
+        self._check_unlinked(instr)
+        instr.owner = self
+        instr.prev = where
+        instr.next = where.next
+        if where.next is not None:
+            where.next.prev = instr
+        else:
+            self._last = instr
+        where.next = instr
+        self._count += 1
+        return instr
+
+    def insert_before(self, where, instr):
+        self._check_unlinked(instr)
+        instr.owner = self
+        instr.next = where
+        instr.prev = where.prev
+        if where.prev is not None:
+            where.prev.next = instr
+        else:
+            self._first = instr
+        where.prev = instr
+        self._count += 1
+        return instr
+
+    def remove(self, instr):
+        if instr.prev is not None:
+            instr.prev.next = instr.next
+        else:
+            self._first = instr.next
+        if instr.next is not None:
+            instr.next.prev = instr.prev
+        else:
+            self._last = instr.prev
+        instr.prev = None
+        instr.next = None
+        instr.owner = None
+        self._count -= 1
+        return instr
+
+    def replace(self, old, new):
+        """Replace ``old`` with ``new`` in place (instrlist_replace)."""
+        self._check_unlinked(new)
+        self.insert_after(old, new)
+        self.remove(old)
+        # Carry exit-CTI bookkeeping over to the replacement.
+        new.is_exit_cti = old.is_exit_cti
+        new.exit_stub_code = old.exit_stub_code
+        new.exit_always_stub = old.exit_always_stub
+        return new
+
+    def extend(self, instrs):
+        for instr in instrs:
+            self.append(instr)
+
+    def clear(self):
+        node = self._first
+        while node is not None:
+            nxt = node.next
+            node.prev = None
+            node.next = None
+            node.owner = None
+            node = nxt
+        self._first = None
+        self._last = None
+        self._count = 0
+
+    @staticmethod
+    def _check_unlinked(instr):
+        if instr.owner is not None:
+            raise ValueError("instruction is already linked into a list")
+
+    # -------------------------------------------------------------- levels
+
+    def expand_bundles(self):
+        """Replace every Level-0 bundle node with per-instruction nodes."""
+        for node in self:
+            if node.is_bundle:
+                pieces = node.split()
+                anchor = node
+                for piece in pieces:
+                    self.insert_after(anchor, piece)
+                    anchor = piece
+                self.remove(node)
+        return self
+
+    def decode_all(self):
+        """Raise every instruction to Level 3 (keeping raw bits valid).
+
+        This is what DynamoRIO does to a trace before handing it to a
+        client: full information, but unmodified instructions still
+        encode with a byte copy.
+        """
+        self.expand_bundles()
+        for node in self:
+            node.srcs  # property access triggers the Level-3 decode
+        return self
+
+    def instr_count(self):
+        """Number of real machine instructions (labels excluded, bundles
+        counted by scanning their boundaries)."""
+        from repro.isa.decoder import decode_boundary
+
+        total = 0
+        for node in self:
+            if node.is_bundle:
+                off = 0
+                while off < len(node.raw):
+                    off += decode_boundary(node.raw, off)
+                    total += 1
+            elif not (node.level >= 2 and node.is_label()):
+                total += 1
+        return total
+
+    # -------------------------------------------------------------- encoding
+
+    def encode(self, start_pc):
+        """Two-pass encode of the whole list at ``start_pc``.
+
+        Pass 1 lays out instructions at worst-case lengths to resolve
+        LABEL addresses; pass 2 encodes with short branch forms disabled
+        so the layout stays valid.  Returns ``bytes``.
+        """
+        label_addresses = {}
+        pc = start_pc
+        for node in self:
+            if node.is_label():
+                label_addresses[node] = pc
+            else:
+                pc += node.max_length()
+
+        out = bytearray()
+        pc = start_pc
+        for node in self:
+            if node.is_label():
+                continue
+            raw = node.encode(
+                pc=pc,
+                allow_short=False,
+                label_addresses=label_addresses,
+                force_pc_relative=True,
+            )
+            if len(raw) != node.max_length():
+                raise AssertionError(
+                    "layout instability encoding %r: %d != %d"
+                    % (node, len(raw), node.max_length())
+                )
+            out += raw
+            pc += len(raw)
+        return bytes(out)
+
+    # ----------------------------------------------------------------- misc
+
+    def labels_targeted(self):
+        """All LABEL instructions referenced by branches in this list."""
+        targets = set()
+        for node in self:
+            if node.level >= 2 and node.is_cti():
+                op = node.target
+                if isinstance(op, LabelRef):
+                    targets.add(op.label)
+        return targets
+
+    def memory_footprint(self):
+        """Total representation memory (Table 2 metric)."""
+        import sys
+
+        return sys.getsizeof(self) + sum(n.memory_footprint() for n in self)
+
+    def disassemble(self):
+        return "\n".join(node.disassemble() for node in self)
+
+    @classmethod
+    def from_code(cls, code, pc, level=0):
+        return _from_code(cls, code, pc, level)
+
+
+def copy_instructions(instrs):
+    """Copy a sequence of Instr nodes, preserving intra-sequence
+    structure: note dicts are copied shallowly and LabelRef targets that
+    point at labels *within the sequence* are remapped to the copies.
+
+    Returns the list of unlinked copies.
+    """
+    originals = list(instrs)
+    copies = [instr.copy() for instr in originals]
+    label_map = {}
+    for original, copy in zip(originals, copies):
+        if original.level >= 2 and original.is_label():
+            label_map[original] = copy
+    for copy in copies:
+        if isinstance(copy.note, dict):
+            copy.note = dict(copy.note)
+        if copy.level >= 2 and not copy.is_label() and copy.is_cti():
+            target = copy.target
+            if isinstance(target, LabelRef) and target.label in label_map:
+                copy.set_target(LabelRef(label_map[target.label]))
+    return copies
+
+
+def _from_code(cls, code, pc, level=0):
+        """Build a list from raw code bytes at the given level.
+
+        ``level=0`` produces bundle nodes (non-CTI runs bundled into a
+        single Level-0 Instr, mirroring how DynamoRIO builds a basic
+        block's InstrList with only the block-ending CTI decoded);
+        ``level=1`` produces one raw node per instruction; higher levels
+        decode further.
+        """
+        from repro.isa.decoder import decode_boundary, decode_opcode
+        from repro.isa.opcodes import OP_INFO
+
+        il = cls()
+        if level == 0:
+            il.append(Instr.bundle(code, pc))
+            return il
+        off = 0
+        while off < len(code):
+            n = decode_boundary(code, off)
+            instr = Instr.from_raw(code[off : off + n], pc + off)
+            if level >= 2:
+                instr.opcode  # trigger level-2 decode
+            if level >= 3:
+                instr.srcs  # trigger level-3 decode
+            il.append(instr)
+            off += n
+        return il

@@ -1,0 +1,15 @@
+"""The five levels of instruction detail (paper Section 3.1, Figure 2)."""
+
+LEVEL_0 = 0  # bundled un-decoded raw bytes, final boundary only
+LEVEL_1 = 1  # one instruction's raw bytes, un-decoded
+LEVEL_2 = 2  # opcode + eflags effects decoded
+LEVEL_3 = 3  # fully decoded, raw bytes valid
+LEVEL_4 = 4  # fully decoded, raw bytes invalid (must be encoded)
+
+LEVEL_NAMES = {
+    LEVEL_0: "Level 0 (bundled raw)",
+    LEVEL_1: "Level 1 (raw)",
+    LEVEL_2: "Level 2 (opcode+eflags)",
+    LEVEL_3: "Level 3 (decoded, raw valid)",
+    LEVEL_4: "Level 4 (decoded, raw invalid)",
+}

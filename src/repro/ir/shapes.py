@@ -1,0 +1,116 @@
+"""Operand shapes: explicit ↔ full (implicit-expanded) operand mapping.
+
+RIO-32 (like IA-32) has implicit operands: ``push`` reads and writes
+``esp`` and stores to the stack, ``div`` consumes and produces
+``eax``/``edx``, ``ret`` pops.  Following DynamoRIO, a Level-3 ``Instr``
+exposes *full* source and destination lists with the implicits filled
+in, while the encoder consumes only the canonical *explicit* operands.
+
+Each opcode's :attr:`~repro.isa.opcodes.OpcodeInfo.shape` names one of
+the shapes here; :func:`expand_operands` builds ``(srcs, dsts)`` from the
+explicit tuple and :func:`extract_explicit` inverts it.
+"""
+
+from repro.isa.opcodes import OP_INFO
+from repro.isa.operands import MemOperand, RegOperand
+from repro.isa.registers import Reg
+
+_ESP = RegOperand(Reg.ESP)
+_EAX = RegOperand(Reg.EAX)
+_EDX = RegOperand(Reg.EDX)
+# The not-yet-decremented stack slot a push/call writes.
+_PUSH_SLOT = MemOperand(base=Reg.ESP, disp=-4)
+_POP_SLOT = MemOperand(base=Reg.ESP)
+
+
+def expand_operands(opcode, explicit):
+    """Build the full ``(srcs, dsts)`` lists from explicit operands."""
+    shape = OP_INFO[opcode].shape
+    if shape == "mov":
+        dst, src = explicit
+        return [src], [dst]
+    if shape == "lea":
+        dst, src = explicit
+        return [src], [dst]
+    if shape == "binary":
+        dst, src = explicit
+        return [src, dst], [dst]
+    if shape == "unary":
+        (dst,) = explicit
+        return [dst], [dst]
+    if shape == "compare":
+        s1, s2 = explicit
+        return [s1, s2], []
+    if shape == "shift":
+        dst, amount = explicit
+        return [amount, dst], [dst]
+    if shape == "div":
+        (src,) = explicit
+        return [src, _EAX, _EDX], [_EAX, _EDX]
+    if shape == "push":
+        (src,) = explicit
+        return [src, _ESP], [_ESP, _PUSH_SLOT]
+    if shape == "pop":
+        (dst,) = explicit
+        return [_POP_SLOT, _ESP], [dst, _ESP]
+    if shape == "xchg":
+        a, b = explicit
+        return [a, b], [a, b]
+    if shape == "branch":
+        (target,) = explicit
+        return [target], []
+    if shape == "call":
+        (target,) = explicit
+        return [target, _ESP], [_ESP, _PUSH_SLOT]
+    if shape == "ret":
+        assert not explicit
+        return [_POP_SLOT, _ESP], [_ESP]
+    if shape == "none":
+        assert not explicit
+        return [], []
+    raise AssertionError("unknown shape %r for %s" % (shape, opcode))
+
+
+def extract_explicit(opcode, srcs, dsts):
+    """Recover the canonical explicit operand tuple for encoding."""
+    shape = OP_INFO[opcode].shape
+    if shape in ("mov", "lea", "binary", "shift"):
+        return (dsts[0], srcs[0])
+    if shape == "unary":
+        return (dsts[0],)
+    if shape == "compare":
+        return (srcs[0], srcs[1])
+    if shape == "div":
+        return (srcs[0],)
+    if shape == "push":
+        return (srcs[0],)
+    if shape == "pop":
+        return (dsts[0],)
+    if shape == "xchg":
+        return (srcs[0], srcs[1])
+    if shape in ("branch", "call"):
+        return (srcs[0],)
+    if shape in ("ret", "none"):
+        return ()
+    raise AssertionError("unknown shape %r for %s" % (shape, opcode))
+
+
+def explicit_arity(opcode):
+    """Number of explicit operands the opcode's constructors take."""
+    shape = OP_INFO[opcode].shape
+    return {
+        "mov": 2,
+        "lea": 2,
+        "binary": 2,
+        "shift": 2,
+        "compare": 2,
+        "xchg": 2,
+        "unary": 1,
+        "div": 1,
+        "push": 1,
+        "pop": 1,
+        "branch": 1,
+        "call": 1,
+        "ret": 0,
+        "none": 0,
+    }[shape]

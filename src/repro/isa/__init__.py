@@ -1,0 +1,86 @@
+"""RIO-32: a synthetic variable-length CISC ISA modeled on IA-32.
+
+RIO-32 reproduces the structural properties of IA-32 that the DynamoRIO
+paper's design responds to:
+
+* variable-length instructions (1..10 bytes) whose boundaries require a
+  real scan to find;
+* compact encodings for common forms (``inc r`` is one byte, ``add r, 1``
+  is three), so encoding requires a template search;
+* a six-bit condition-code register (eflags) that most arithmetic
+  instructions write and conditional branches read, making flags liveness
+  the central hazard for code transformations;
+* ModRM/SIB-style memory operands (base + index*scale + displacement);
+* implicit operands (``push`` reads and writes ``esp``).
+
+The package exposes the register file, eflags masks, operand kinds, the
+opcode table, and the encoder/decoder.
+"""
+
+from repro.isa.registers import Reg, REG_NAMES, NUM_REGS
+from repro.isa.eflags import (
+    EFLAGS_READ_CF,
+    EFLAGS_READ_PF,
+    EFLAGS_READ_AF,
+    EFLAGS_READ_ZF,
+    EFLAGS_READ_SF,
+    EFLAGS_READ_OF,
+    EFLAGS_WRITE_CF,
+    EFLAGS_WRITE_PF,
+    EFLAGS_WRITE_AF,
+    EFLAGS_WRITE_ZF,
+    EFLAGS_WRITE_SF,
+    EFLAGS_WRITE_OF,
+    EFLAGS_READ_ALL,
+    EFLAGS_WRITE_ALL,
+    EFLAGS_READ_ARITH,
+    EFLAGS_WRITE_ARITH,
+    eflags_to_string,
+)
+from repro.isa.operands import Operand, RegOperand, ImmOperand, MemOperand, PcOperand
+from repro.isa.opcodes import Opcode, OpcodeInfo, opcode_info, OP_INFO
+from repro.isa.encoder import encode_instr, EncodeError
+from repro.isa.decoder import (
+    decode_boundary,
+    decode_opcode,
+    decode_full,
+    DecodeError,
+)
+
+__all__ = [
+    "Reg",
+    "REG_NAMES",
+    "NUM_REGS",
+    "EFLAGS_READ_CF",
+    "EFLAGS_READ_PF",
+    "EFLAGS_READ_AF",
+    "EFLAGS_READ_ZF",
+    "EFLAGS_READ_SF",
+    "EFLAGS_READ_OF",
+    "EFLAGS_WRITE_CF",
+    "EFLAGS_WRITE_PF",
+    "EFLAGS_WRITE_AF",
+    "EFLAGS_WRITE_ZF",
+    "EFLAGS_WRITE_SF",
+    "EFLAGS_WRITE_OF",
+    "EFLAGS_READ_ALL",
+    "EFLAGS_WRITE_ALL",
+    "EFLAGS_READ_ARITH",
+    "EFLAGS_WRITE_ARITH",
+    "eflags_to_string",
+    "Operand",
+    "RegOperand",
+    "ImmOperand",
+    "MemOperand",
+    "PcOperand",
+    "Opcode",
+    "OpcodeInfo",
+    "opcode_info",
+    "OP_INFO",
+    "encode_instr",
+    "EncodeError",
+    "decode_boundary",
+    "decode_opcode",
+    "decode_full",
+    "DecodeError",
+]

@@ -1,0 +1,278 @@
+"""RIO-32 multi-level decoder.
+
+Three entry points mirror the paper's decoding strategies:
+
+:func:`decode_boundary`
+    Find the instruction's length only (Levels 0/1).  Even this requires
+    parsing prefixes, the opcode byte(s) and — for ModRM forms — the
+    addressing-mode byte, because RIO-32 (like IA-32) is variable length.
+:func:`decode_opcode`
+    Resolve the opcode and its eflags effects (Level 2); group opcodes
+    need the ModRM /digit for this.
+:func:`decode_full`
+    Produce the explicit operand list (Levels 3/4).
+
+All three take a ``bytes``-like code buffer and an offset, and return the
+instruction length alongside their payload so callers can walk a stream.
+"""
+
+from collections import namedtuple
+
+from repro.isa.operands import RegOperand, ImmOperand, MemOperand, PcOperand
+from repro.isa.opcodes import OP_INFO
+from repro.isa.templates import (
+    DECODE_ONE_BYTE,
+    DECODE_TWO_BYTE,
+    PREFIXES,
+)
+
+
+class DecodeError(Exception):
+    """The byte stream is not a valid RIO-32 instruction."""
+
+
+DecodedInstr = namedtuple(
+    "DecodedInstr", ["opcode", "operands", "prefixes", "length", "eflags"]
+)
+
+
+def _read_u8(code, i):
+    try:
+        return code[i]
+    except IndexError:
+        raise DecodeError("truncated instruction at offset %d" % i)
+
+
+def _read_s8(code, i):
+    b = _read_u8(code, i)
+    return b - 0x100 if b >= 0x80 else b
+
+
+def _read_u32(code, i):
+    chunk = bytes(code[i : i + 4])
+    if len(chunk) != 4:
+        raise DecodeError("truncated instruction at offset %d" % i)
+    return int.from_bytes(chunk, "little")
+
+
+def _read_s32(code, i):
+    v = _read_u32(code, i)
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _scan_prefixes(code, offset):
+    i = offset
+    prefixes = []
+    while _read_u8(code, i) in PREFIXES:
+        prefixes.append(code[i])
+        i += 1
+        if i - offset > 4:
+            raise DecodeError("too many prefixes at offset %d" % offset)
+    return bytes(prefixes), i
+
+
+def _lookup(code, i):
+    """Resolve opcode byte(s) to a template or group dict.
+
+    Returns ``(entry, opbase, next_index)`` where ``opbase`` is the value
+    of the final opcode byte (needed for register-in-opcode forms).
+    """
+    b0 = _read_u8(code, i)
+    if b0 == 0x0F:
+        b1 = _read_u8(code, i + 1)
+        entry = DECODE_TWO_BYTE.get(b1)
+        if entry is None:
+            raise DecodeError("unknown opcode 0f %02x at offset %d" % (b1, i))
+        return entry, b1, i + 2
+    entry = DECODE_ONE_BYTE.get(b0)
+    if entry is None:
+        raise DecodeError("unknown opcode %02x at offset %d" % (b0, i))
+    return entry, b0, i + 1
+
+
+def _modrm_length(code, i):
+    """Length of ModRM + SIB + displacement starting at ``i``."""
+    modrm = _read_u8(code, i)
+    mod = modrm >> 6
+    rm = modrm & 0b111
+    length = 1
+    if mod == 0b11:
+        return length
+    has_sib = rm == 0b100
+    if has_sib:
+        length += 1
+        sib_base = _read_u8(code, i + 1) & 0b111
+        if mod == 0b00 and sib_base == 0b101:
+            return length + 4
+    if mod == 0b00 and not has_sib and rm == 0b101:
+        return length + 4
+    if mod == 0b01:
+        return length + 1
+    if mod == 0b10:
+        return length + 4
+    return length
+
+
+def _resolve_group(entry, code, modrm_index):
+    """For group opcodes, pick the template by the ModRM /digit."""
+    if not isinstance(entry, dict):
+        return entry
+    modrm = _read_u8(code, modrm_index)
+    digit = (modrm >> 3) & 0b111
+    tmpl = entry.get(digit)
+    if tmpl is None:
+        raise DecodeError("invalid /digit %d at offset %d" % (digit, modrm_index))
+    return tmpl
+
+
+_FORM_TAIL = {
+    # immediate / displacement bytes that follow the ModRM (if any)
+    "none": 0,
+    "o_r": 0,
+    "o_r_i32": 4,
+    "m": 0,
+    "m_i8": 1,
+    "m_i32": 4,
+    "m_cl": 0,
+    "rm": 0,
+    "mr": 0,
+    "rel8": 1,
+    "rel32": 4,
+    "i8": 1,
+    "i32": 4,
+}
+
+_MODRM_FORMS = frozenset(("m", "m_i8", "m_i32", "m_cl", "rm", "mr"))
+
+
+def _parse_shape(code, offset):
+    """Shared fast path: prefixes, opcode bytes, template, total length.
+
+    Returns ``(tmpl, opbase, prefixes, body_index, length)`` where
+    ``body_index`` points just past the opcode bytes.
+    """
+    prefixes, i = _scan_prefixes(code, offset)
+    entry, opbase, body = _lookup(code, i)
+    tmpl = _resolve_group(entry, code, body)
+    length = body - offset
+    if tmpl.form in _MODRM_FORMS:
+        length += _modrm_length(code, body)
+    length += _FORM_TAIL[tmpl.form]
+    return tmpl, opbase, prefixes, body, offset + length
+
+
+def decode_boundary(code, offset):
+    """Return the length in bytes of the instruction at ``offset``."""
+    _tmpl, _opbase, _prefixes, _body, end = _parse_shape(code, offset)
+    return end - offset
+
+
+def decode_opcode(code, offset):
+    """Level-2 decode: ``(opcode, eflags_effects, length)``."""
+    tmpl, _opbase, _prefixes, _body, end = _parse_shape(code, offset)
+    info = OP_INFO[tmpl.opcode]
+    return tmpl.opcode, info.eflags, end - offset
+
+
+def _decode_modrm(code, i, mem_size):
+    """Decode a ModRM r/m operand.  Returns ``(operand, reg_field, next_i)``."""
+    modrm = _read_u8(code, i)
+    mod = modrm >> 6
+    reg_field = (modrm >> 3) & 0b111
+    rm = modrm & 0b111
+    i += 1
+    if mod == 0b11:
+        return RegOperand(rm), reg_field, i
+
+    base = index = None
+    scale = 1
+    if rm == 0b100:
+        sib = _read_u8(code, i)
+        i += 1
+        scale = 1 << (sib >> 6)
+        index_bits = (sib >> 3) & 0b111
+        base_bits = sib & 0b111
+        if index_bits != 0b100:
+            index = index_bits
+        if mod == 0b00 and base_bits == 0b101:
+            base = None
+            disp = _read_s32(code, i)
+            i += 4
+            return (
+                MemOperand(base=base, index=index, scale=scale, disp=disp, size=mem_size),
+                reg_field,
+                i,
+            )
+        base = base_bits
+    elif mod == 0b00 and rm == 0b101:
+        disp = _read_s32(code, i)
+        i += 4
+        return MemOperand(disp=disp, size=mem_size), reg_field, i
+    else:
+        base = rm
+
+    disp = 0
+    if mod == 0b01:
+        disp = _read_s8(code, i)
+        i += 1
+    elif mod == 0b10:
+        disp = _read_s32(code, i)
+        i += 4
+    return (
+        MemOperand(base=base, index=index, scale=scale, disp=disp, size=mem_size),
+        reg_field,
+        i,
+    )
+
+
+def decode_full(code, offset, pc=None):
+    """Level-3 decode: full explicit operands.
+
+    ``pc`` is the address of the instruction in its address space (used
+    to materialize absolute targets from PC-relative displacements); it
+    defaults to ``offset``, which is correct when the buffer's index 0 is
+    address 0.  Returns a :class:`DecodedInstr`.
+    """
+    if pc is None:
+        pc = offset
+    tmpl, opbase, prefixes, body, end = _parse_shape(code, offset)
+    form = tmpl.form
+    length = end - offset
+    i = body
+    operands = ()
+    if form == "o_r":
+        operands = (RegOperand(opbase - tmpl.opbytes[-1]),)
+    elif form == "o_r_i32":
+        operands = (
+            RegOperand(opbase - tmpl.opbytes[-1]),
+            ImmOperand(_read_u32(code, i), size=4),
+        )
+    elif form in ("m", "m_i8", "m_i32", "m_cl"):
+        rm_op, _reg_field, i = _decode_modrm(code, i, tmpl.mem_size)
+        if form == "m":
+            operands = (rm_op,)
+        elif form == "m_i8":
+            operands = (rm_op, ImmOperand(_read_s8(code, i), size=1))
+        elif form == "m_i32":
+            operands = (rm_op, ImmOperand(_read_u32(code, i), size=4))
+        else:  # m_cl: count implicitly in ECX
+            operands = (rm_op, RegOperand(1))
+    elif form == "rm":
+        rm_op, reg_field, i = _decode_modrm(code, i, tmpl.mem_size)
+        operands = (RegOperand(reg_field), rm_op)
+    elif form == "mr":
+        rm_op, reg_field, i = _decode_modrm(code, i, tmpl.mem_size)
+        operands = (rm_op, RegOperand(reg_field))
+    elif form == "rel8":
+        operands = (PcOperand(pc + length + _read_s8(code, i)),)
+    elif form == "rel32":
+        operands = (PcOperand(pc + length + _read_s32(code, i)),)
+    elif form == "i8":
+        operands = (ImmOperand(_read_s8(code, i), size=1),)
+    elif form == "i32":
+        operands = (ImmOperand(_read_u32(code, i), size=4),)
+    elif form != "none":
+        raise AssertionError("unknown template form %r" % (form,))
+
+    info = OP_INFO[tmpl.opcode]
+    return DecodedInstr(tmpl.opcode, operands, tuple(prefixes), length, info.eflags)

@@ -1,0 +1,240 @@
+"""RIO-32 instruction encoder.
+
+Encoding an instruction from operands is the expensive path (the paper's
+Level 4): the encoder must walk the opcode's template list and find the
+first form whose constraints the operands satisfy — compact
+register-in-opcode forms, sign-extended 8-bit immediates, 8- vs 32-bit
+branch displacements.  This is why the runtime prefers to keep raw bits
+valid and copy them (Levels 0–3).
+"""
+
+from repro.isa.operands import RegOperand, ImmOperand, MemOperand, PcOperand
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+from repro.isa.templates import ENCODE_TEMPLATES
+
+
+class EncodeError(Exception):
+    """No encoding template matches the instruction's operands."""
+
+
+def _fits_i8(value):
+    value &= 0xFFFFFFFF
+    signed = value - 0x100000000 if value >= 0x80000000 else value
+    return -128 <= signed <= 127
+
+
+def _le32(value):
+    return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def _i8(value):
+    return bytes(((value & 0xFF),))
+
+
+def _encode_modrm(reg_field, rm_op):
+    """Encode the ModRM byte (plus SIB/displacement) for one r/m operand."""
+    out = bytearray()
+    if isinstance(rm_op, RegOperand):
+        out.append((0b11 << 6) | (reg_field << 3) | int(rm_op.reg))
+        return bytes(out)
+    if not isinstance(rm_op, MemOperand):
+        raise EncodeError("r/m operand must be register or memory: %r" % (rm_op,))
+
+    base, index, scale, disp = rm_op.base, rm_op.index, rm_op.scale, rm_op.disp
+    need_sib = index is not None or base == Reg.ESP or base is None and index is not None
+
+    if base is None and index is None:
+        # Absolute disp32: mod=00, rm=101.
+        out.append((0b00 << 6) | (reg_field << 3) | 0b101)
+        out += _le32(disp)
+        return bytes(out)
+
+    # Choose the mod field from the displacement size.  A base of EBP
+    # cannot use the no-displacement form (that encoding means disp32
+    # absolute), so it always carries at least a disp8 — same wart as
+    # IA-32, and part of why boundary-finding requires a real parse.
+    if disp == 0 and base is not None and base != Reg.EBP:
+        mod = 0b00
+    elif _fits_i8(disp):
+        mod = 0b01
+    else:
+        mod = 0b10
+
+    if need_sib:
+        out.append((mod << 6) | (reg_field << 3) | 0b100)
+        scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[scale]
+        index_bits = 0b100 if index is None else int(index)
+        if base is None:
+            # SIB with no base: mod must be 00 and disp32 follows.
+            out[-1] = (0b00 << 6) | (reg_field << 3) | 0b100
+            out.append((scale_bits << 6) | (index_bits << 3) | 0b101)
+            out += _le32(disp)
+            return bytes(out)
+        out.append((scale_bits << 6) | (index_bits << 3) | int(base))
+    else:
+        out.append((mod << 6) | (reg_field << 3) | int(base))
+
+    if mod == 0b01:
+        out += _i8(disp)
+    elif mod == 0b10:
+        out += _le32(disp)
+    return bytes(out)
+
+
+def _rm_matches(op, mem_size):
+    if isinstance(op, RegOperand):
+        return mem_size == 4
+    if isinstance(op, MemOperand):
+        return op.size == mem_size
+    return False
+
+
+def _template_matches(tmpl, operands, pc, prefix_len=0):
+    form = tmpl.form
+    if form == "none":
+        return not operands
+    if form == "o_r":
+        return len(operands) == 1 and isinstance(operands[0], RegOperand)
+    if form == "o_r_i32":
+        return (
+            len(operands) == 2
+            and isinstance(operands[0], RegOperand)
+            and isinstance(operands[1], ImmOperand)
+        )
+    if form == "m":
+        return len(operands) == 1 and _rm_matches(operands[0], tmpl.mem_size)
+    if form == "m_i8":
+        return (
+            len(operands) == 2
+            and _rm_matches(operands[0], tmpl.mem_size)
+            and isinstance(operands[1], ImmOperand)
+            and _fits_i8(operands[1].value)
+        )
+    if form == "m_i32":
+        return (
+            len(operands) == 2
+            and _rm_matches(operands[0], tmpl.mem_size)
+            and isinstance(operands[1], ImmOperand)
+        )
+    if form == "m_cl":
+        return (
+            len(operands) == 2
+            and _rm_matches(operands[0], tmpl.mem_size)
+            and isinstance(operands[1], RegOperand)
+            and operands[1].reg == Reg.ECX
+        )
+    if form == "rm":
+        if len(operands) != 2 or not isinstance(operands[0], RegOperand):
+            return False
+        if tmpl.opcode == Opcode.LEA:
+            return isinstance(operands[1], MemOperand)
+        return _rm_matches(operands[1], tmpl.mem_size)
+    if form == "mr":
+        return (
+            len(operands) == 2
+            and _rm_matches(operands[0], tmpl.mem_size)
+            and isinstance(operands[1], RegOperand)
+        )
+    if form in ("rel8", "rel32"):
+        if len(operands) != 1 or not isinstance(operands[0], PcOperand):
+            return False
+        if form == "rel32":
+            return True
+        if pc is None:
+            return False
+        length = prefix_len + len(tmpl.opbytes) + 1
+        rel = (operands[0].pc - (pc + length)) & 0xFFFFFFFF
+        return _fits_i8(rel)
+    if form == "i8":
+        return (
+            len(operands) == 1
+            and isinstance(operands[0], ImmOperand)
+            and _fits_i8(operands[0].value)
+        )
+    if form == "i32":
+        return len(operands) == 1 and isinstance(operands[0], ImmOperand)
+    raise AssertionError("unknown template form %r" % (form,))
+
+
+def _emit(tmpl, operands, pc, prefixes):
+    out = bytearray(prefixes)
+    form = tmpl.form
+    opbytes = tmpl.opbytes
+    if form in ("o_r", "o_r_i32"):
+        out += opbytes[:-1]
+        out.append(opbytes[-1] + int(operands[0].reg))
+        if form == "o_r_i32":
+            out += _le32(operands[1].value)
+        return bytes(out)
+    out += opbytes
+    if form == "none":
+        return bytes(out)
+    if form in ("m", "m_i8", "m_i32", "m_cl"):
+        out += _encode_modrm(tmpl.digit, operands[0])
+        if form == "m_i8":
+            out += _i8(operands[1].value)
+        elif form == "m_i32":
+            out += _le32(operands[1].value)
+        return bytes(out)
+    if form == "rm":
+        out += _encode_modrm(int(operands[0].reg), operands[1])
+        return bytes(out)
+    if form == "mr":
+        out += _encode_modrm(int(operands[1].reg), operands[0])
+        return bytes(out)
+    if form in ("rel8", "rel32"):
+        disp_size = 1 if form == "rel8" else 4
+        length = len(prefixes) + len(opbytes) + disp_size
+        if pc is None:
+            raise EncodeError(
+                "PC-relative encoding of %s requires a placement address"
+                % tmpl.opcode.name
+            )
+        rel = operands[0].pc - (pc + length)
+        out += _i8(rel) if form == "rel8" else _le32(rel)
+        return bytes(out)
+    if form == "i8":
+        out += _i8(operands[0].value)
+        return bytes(out)
+    if form == "i32":
+        out += _le32(operands[0].value)
+        return bytes(out)
+    raise AssertionError("unknown template form %r" % (form,))
+
+
+def encode_instr(opcode, operands, pc=None, prefixes=(), allow_short=True):
+    """Encode one instruction to machine bytes.
+
+    ``operands`` is the tuple of *explicit* operands in canonical order
+    (see ``repro.ir.instr.Instr.explicit_operands``).  ``pc`` is the
+    address the instruction will be placed at — required for PC-relative
+    branch targets.  With ``allow_short=False`` the 8-bit displacement
+    branch forms are skipped, giving a stable worst-case length that
+    two-pass emitters rely on.  Returns ``bytes``.
+    """
+    opcode = Opcode(opcode)
+    if opcode == Opcode.LABEL:
+        return b""
+    templates = ENCODE_TEMPLATES.get(opcode)
+    if not templates:
+        raise EncodeError("opcode %s has no encodings" % opcode.name)
+    operands = tuple(operands)
+    prefixes = bytes(prefixes)
+    for tmpl in templates:
+        if not allow_short and tmpl.form == "rel8":
+            continue
+        if _template_matches(tmpl, operands, pc, prefix_len=len(prefixes)):
+            return _emit(tmpl, operands, pc, prefixes)
+    raise EncodeError(
+        "no template for %s with operands %r" % (opcode.name, operands)
+    )
+
+
+def encoded_length(opcode, operands, pc=None, prefixes=(), allow_short=True):
+    """Length in bytes that :func:`encode_instr` would produce."""
+    return len(
+        encode_instr(
+            opcode, operands, pc=pc, prefixes=prefixes, allow_short=allow_short
+        )
+    )

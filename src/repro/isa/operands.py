@@ -1,0 +1,219 @@
+"""Operand kinds for RIO-32 instructions.
+
+Operands are immutable value objects; mutating an instruction's operand
+list therefore means *replacing* an operand, which is the event that
+invalidates an ``Instr``'s raw bits and moves it to Level 4 (see
+``repro.ir.instr``).
+
+Four kinds exist:
+
+``RegOperand``
+    One of the eight GPRs.
+``ImmOperand``
+    An immediate constant with an encoding size hint (1 or 4 bytes).
+``MemOperand``
+    ``[base + index*scale + disp]`` with an access size (1, 2 or 4 bytes),
+    mirroring IA-32 ModRM/SIB addressing.
+``PcOperand``
+    A code address, used as the target of direct branches.  Encoded as a
+    displacement relative to the end of the instruction.
+"""
+
+from repro.isa.registers import Reg, REG_NAMES
+
+
+class Operand:
+    """Base class for all operand kinds."""
+
+    __slots__ = ()
+
+    def is_reg(self):
+        return isinstance(self, RegOperand)
+
+    def is_imm(self):
+        return isinstance(self, ImmOperand)
+
+    def is_mem(self):
+        return isinstance(self, MemOperand)
+
+    def is_pc(self):
+        return isinstance(self, PcOperand)
+
+    def uses_reg(self, reg):
+        """Whether this operand reads the given register to compute itself.
+
+        For a register operand this is identity; for a memory operand it
+        covers the base and index registers (address computation), not the
+        memory contents.
+        """
+        return False
+
+
+class RegOperand(Operand):
+    """A direct register operand."""
+
+    __slots__ = ("reg",)
+
+    def __init__(self, reg):
+        object.__setattr__(self, "reg", Reg(reg))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("operands are immutable; build a new one")
+
+    def uses_reg(self, reg):
+        return self.reg == reg
+
+    def __eq__(self, other):
+        return isinstance(other, RegOperand) and self.reg == other.reg
+
+    def __hash__(self):
+        return hash(("reg", self.reg))
+
+    def __repr__(self):
+        return "%%%s" % REG_NAMES[self.reg]
+
+
+class ImmOperand(Operand):
+    """An immediate constant.
+
+    ``size`` is the *encoding* size in bytes (1 or 4).  The value is kept
+    as a Python int; signed interpretation happens at encode/execute time.
+    """
+
+    __slots__ = ("value", "size")
+
+    def __init__(self, value, size=4):
+        if size not in (1, 4):
+            raise ValueError("immediate size must be 1 or 4, got %r" % (size,))
+        object.__setattr__(self, "value", int(value))
+        object.__setattr__(self, "size", size)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("operands are immutable; build a new one")
+
+    def fits_in_byte(self):
+        """Whether the value is encodable as a sign-extended 8-bit imm."""
+        return -128 <= _as_signed32(self.value) <= 127
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ImmOperand)
+            and self.value == other.value
+            and self.size == other.size
+        )
+
+    def __hash__(self):
+        return hash(("imm", self.value, self.size))
+
+    def __repr__(self):
+        return "$0x%x" % (self.value & 0xFFFFFFFF)
+
+
+class MemOperand(Operand):
+    """A memory reference ``[base + index*scale + disp]``.
+
+    ``size`` is the access width in bytes (1, 2 or 4); sub-word loads are
+    what ``movzx``/``movsx`` consume.  ``base`` and ``index`` are ``Reg``
+    or ``None``; ``scale`` is 1, 2, 4 or 8.
+    """
+
+    __slots__ = ("base", "index", "scale", "disp", "size")
+
+    def __init__(self, base=None, index=None, scale=1, disp=0, size=4):
+        if scale not in (1, 2, 4, 8):
+            raise ValueError("scale must be 1, 2, 4 or 8, got %r" % (scale,))
+        if size not in (1, 2, 4):
+            raise ValueError("access size must be 1, 2 or 4, got %r" % (size,))
+        if index is not None and Reg(index) == Reg.ESP:
+            raise ValueError("esp cannot be an index register")
+        object.__setattr__(self, "base", None if base is None else Reg(base))
+        object.__setattr__(self, "index", None if index is None else Reg(index))
+        # Scale is meaningless without an index; normalize so structurally
+        # identical operands compare equal.
+        object.__setattr__(self, "scale", scale if index is not None else 1)
+        object.__setattr__(self, "disp", int(disp))
+        object.__setattr__(self, "size", size)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("operands are immutable; build a new one")
+
+    def uses_reg(self, reg):
+        return self.base == reg or self.index == reg
+
+    def address_registers(self):
+        """Registers read to form the effective address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return regs
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MemOperand)
+            and self.base == other.base
+            and self.index == other.index
+            and self.scale == other.scale
+            and self.disp == other.disp
+            and self.size == other.size
+        )
+
+    def __hash__(self):
+        return hash(("mem", self.base, self.index, self.scale, self.disp, self.size))
+
+    def __repr__(self):
+        inner = []
+        if self.base is not None:
+            inner.append("%%%s" % REG_NAMES[self.base])
+        if self.index is not None:
+            inner.append("%%%s,%d" % (REG_NAMES[self.index], self.scale))
+        prefix = "0x%x" % self.disp if self.disp else ""
+        return "%s(%s)" % (prefix, ",".join(inner))
+
+
+class PcOperand(Operand):
+    """An absolute code address, the target of a direct control transfer."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self, pc):
+        object.__setattr__(self, "pc", int(pc) & 0xFFFFFFFF)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("operands are immutable; build a new one")
+
+    def __eq__(self, other):
+        return isinstance(other, PcOperand) and self.pc == other.pc
+
+    def __hash__(self):
+        return hash(("pc", self.pc))
+
+    def __repr__(self):
+        return "$0x%08x" % self.pc
+
+
+def _as_signed32(value):
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+# Convenience constructors matching the paper's OPND_CREATE_* style.
+def OPND_REG(reg):
+    return RegOperand(reg)
+
+
+def OPND_IMM8(value):
+    return ImmOperand(value, size=1)
+
+
+def OPND_IMM32(value):
+    return ImmOperand(value, size=4)
+
+
+def OPND_MEM(base=None, index=None, scale=1, disp=0, size=4):
+    return MemOperand(base=base, index=index, scale=scale, disp=disp, size=size)
+
+
+def OPND_PC(pc):
+    return PcOperand(pc)

@@ -1,0 +1,48 @@
+"""General-purpose register file of RIO-32.
+
+RIO-32 has eight 32-bit general-purpose registers with the IA-32 names
+and encoding numbers.  ``ESP`` is the stack pointer (implicitly used by
+``push``/``pop``/``call``/``ret``) and ``EBP`` is conventionally the frame
+pointer, which is what makes register pressure — and therefore redundant
+stack loads — realistic.
+"""
+
+from enum import IntEnum
+
+
+class Reg(IntEnum):
+    """Register numbers; the values are the 3-bit encoding fields."""
+
+    EAX = 0
+    ECX = 1
+    EDX = 2
+    EBX = 3
+    ESP = 4
+    EBP = 5
+    ESI = 6
+    EDI = 7
+
+
+NUM_REGS = 8
+
+REG_NAMES = {
+    Reg.EAX: "eax",
+    Reg.ECX: "ecx",
+    Reg.EDX: "edx",
+    Reg.EBX: "ebx",
+    Reg.ESP: "esp",
+    Reg.EBP: "ebp",
+    Reg.ESI: "esi",
+    Reg.EDI: "edi",
+}
+
+_NAME_TO_REG = {name: reg for reg, name in REG_NAMES.items()}
+
+
+def reg_from_name(name):
+    """Look up a register by its assembly name (e.g. ``"eax"``).
+
+    Accepts an optional ``%`` prefix, as used in AT&T-style listings.
+    Raises ``KeyError`` for unknown names.
+    """
+    return _NAME_TO_REG[name.lstrip("%").lower()]

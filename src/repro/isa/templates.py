@@ -1,0 +1,227 @@
+"""Encoding templates shared by the RIO-32 encoder and decoder.
+
+Each opcode has an ordered list of templates; the encoder walks the list
+and picks the first whose operand constraints match ("template search",
+the cost the paper's Table 2 attributes to encoding Level-4 instructions).
+Compact forms are listed first so the encoder naturally produces the
+short encodings (``inc r`` = 1 byte, ``push r`` = 1 byte, sign-extended
+imm8 arithmetic = 3 bytes).
+
+Template *forms* describe the byte layout after the opcode bytes:
+
+==========  ==========================================================
+``none``    nothing
+``o_r``     register encoded in the low 3 bits of the last opcode byte
+``o_r_i32`` as ``o_r`` plus a 32-bit immediate
+``m``       ModRM with the /digit in the reg field, one r/m operand
+``m_i8``    ``m`` plus an 8-bit immediate (sign-extended)
+``m_i32``   ``m`` plus a 32-bit immediate
+``m_cl``    ``m``; the shift count is implicitly in CL
+``rm``      ModRM; reg field = operand 0 (register), r/m = operand 1
+``mr``      ModRM; r/m = operand 0, reg field = operand 1 (register)
+``rel8``    8-bit PC-relative displacement
+``rel32``   32-bit PC-relative displacement
+``i8``      8-bit immediate only
+``i32``     32-bit immediate only
+==========  ==========================================================
+"""
+
+from repro.isa.opcodes import Opcode, JCC_CONDITION
+
+
+class Template:
+    """One encodable form of an opcode."""
+
+    __slots__ = ("opcode", "form", "opbytes", "digit", "mem_size")
+
+    def __init__(self, opcode, form, opbytes, digit=None, mem_size=4):
+        self.opcode = opcode
+        self.form = form
+        self.opbytes = bytes(opbytes)
+        self.digit = digit
+        self.mem_size = mem_size
+
+    def __repr__(self):
+        return "<Template %s/%s %s>" % (
+            self.opcode.name,
+            self.form,
+            self.opbytes.hex(),
+        )
+
+
+def _t(opcode, form, opbytes, digit=None, mem_size=4):
+    return Template(opcode, form, opbytes, digit=digit, mem_size=mem_size)
+
+
+# Ordered template lists: compact forms first.
+ENCODE_TEMPLATES = {
+    Opcode.MOV: [
+        _t(Opcode.MOV, "o_r_i32", [0xB8]),
+        _t(Opcode.MOV, "m_i32", [0xC7], digit=0),
+        _t(Opcode.MOV, "rm", [0x8B]),
+        _t(Opcode.MOV, "mr", [0x89]),
+    ],
+    Opcode.MOVB_STORE: [_t(Opcode.MOVB_STORE, "mr", [0x88], mem_size=1)],
+    Opcode.MOVZX: [
+        _t(Opcode.MOVZX, "rm", [0x0F, 0xB6], mem_size=1),
+        _t(Opcode.MOVZX, "rm", [0x0F, 0xB7], mem_size=2),
+    ],
+    Opcode.MOVSX: [
+        _t(Opcode.MOVSX, "rm", [0x0F, 0xBE], mem_size=1),
+        _t(Opcode.MOVSX, "rm", [0x0F, 0xBF], mem_size=2),
+    ],
+    Opcode.LEA: [_t(Opcode.LEA, "rm", [0x8D])],
+    Opcode.XCHG: [_t(Opcode.XCHG, "mr", [0x87])],
+    Opcode.PUSH: [
+        _t(Opcode.PUSH, "o_r", [0x50]),
+        _t(Opcode.PUSH, "i8", [0x6A]),
+        _t(Opcode.PUSH, "i32", [0x68]),
+        _t(Opcode.PUSH, "m", [0xFF], digit=6),
+    ],
+    Opcode.POP: [
+        _t(Opcode.POP, "o_r", [0x58]),
+        _t(Opcode.POP, "m", [0x8F], digit=0),
+    ],
+    Opcode.ADD: [
+        _t(Opcode.ADD, "m_i8", [0x83], digit=0),
+        _t(Opcode.ADD, "m_i32", [0x81], digit=0),
+        _t(Opcode.ADD, "rm", [0x03]),
+        _t(Opcode.ADD, "mr", [0x01]),
+    ],
+    Opcode.OR: [
+        _t(Opcode.OR, "m_i8", [0x83], digit=1),
+        _t(Opcode.OR, "m_i32", [0x81], digit=1),
+        _t(Opcode.OR, "rm", [0x0B]),
+        _t(Opcode.OR, "mr", [0x09]),
+    ],
+    Opcode.AND: [
+        _t(Opcode.AND, "m_i8", [0x83], digit=4),
+        _t(Opcode.AND, "m_i32", [0x81], digit=4),
+        _t(Opcode.AND, "rm", [0x23]),
+        _t(Opcode.AND, "mr", [0x21]),
+    ],
+    Opcode.SUB: [
+        _t(Opcode.SUB, "m_i8", [0x83], digit=5),
+        _t(Opcode.SUB, "m_i32", [0x81], digit=5),
+        _t(Opcode.SUB, "rm", [0x2B]),
+        _t(Opcode.SUB, "mr", [0x29]),
+    ],
+    Opcode.XOR: [
+        _t(Opcode.XOR, "m_i8", [0x83], digit=6),
+        _t(Opcode.XOR, "m_i32", [0x81], digit=6),
+        _t(Opcode.XOR, "rm", [0x33]),
+        _t(Opcode.XOR, "mr", [0x31]),
+    ],
+    Opcode.CMP: [
+        _t(Opcode.CMP, "m_i8", [0x83], digit=7),
+        _t(Opcode.CMP, "m_i32", [0x81], digit=7),
+        _t(Opcode.CMP, "rm", [0x3B]),
+        _t(Opcode.CMP, "mr", [0x39]),
+    ],
+    Opcode.TEST: [
+        _t(Opcode.TEST, "m_i32", [0xF7], digit=0),
+        _t(Opcode.TEST, "mr", [0x85]),
+    ],
+    Opcode.INC: [
+        _t(Opcode.INC, "o_r", [0x40]),
+        _t(Opcode.INC, "m", [0xFF], digit=0),
+    ],
+    Opcode.DEC: [
+        _t(Opcode.DEC, "o_r", [0x48]),
+        _t(Opcode.DEC, "m", [0xFF], digit=1),
+    ],
+    Opcode.NOT: [_t(Opcode.NOT, "m", [0xF7], digit=2)],
+    Opcode.NEG: [_t(Opcode.NEG, "m", [0xF7], digit=3)],
+    Opcode.DIV: [_t(Opcode.DIV, "m", [0xF7], digit=6)],
+    Opcode.SHL: [
+        _t(Opcode.SHL, "m_i8", [0xC1], digit=4),
+        _t(Opcode.SHL, "m_cl", [0xD3], digit=4),
+    ],
+    Opcode.SHR: [
+        _t(Opcode.SHR, "m_i8", [0xC1], digit=5),
+        _t(Opcode.SHR, "m_cl", [0xD3], digit=5),
+    ],
+    Opcode.SAR: [
+        _t(Opcode.SAR, "m_i8", [0xC1], digit=7),
+        _t(Opcode.SAR, "m_cl", [0xD3], digit=7),
+    ],
+    Opcode.IMUL: [_t(Opcode.IMUL, "rm", [0x0F, 0xAF])],
+    Opcode.FLD: [_t(Opcode.FLD, "rm", [0x0F, 0x10])],
+    Opcode.FST: [_t(Opcode.FST, "mr", [0x0F, 0x11])],
+    Opcode.FADD: [_t(Opcode.FADD, "rm", [0x0F, 0x58])],
+    Opcode.FMUL: [_t(Opcode.FMUL, "rm", [0x0F, 0x59])],
+    Opcode.FSUB: [_t(Opcode.FSUB, "rm", [0x0F, 0x5C])],
+    Opcode.FDIV: [_t(Opcode.FDIV, "rm", [0x0F, 0x5E])],
+    Opcode.JMP: [
+        _t(Opcode.JMP, "rel8", [0xEB]),
+        _t(Opcode.JMP, "rel32", [0xE9]),
+    ],
+    Opcode.JMP_IND: [_t(Opcode.JMP_IND, "m", [0xFF], digit=4)],
+    Opcode.CALL: [_t(Opcode.CALL, "rel32", [0xE8])],
+    Opcode.CALL_IND: [_t(Opcode.CALL_IND, "m", [0xFF], digit=2)],
+    Opcode.RET: [_t(Opcode.RET, "none", [0xC3])],
+    Opcode.IRET: [_t(Opcode.IRET, "none", [0xCF])],
+    Opcode.NOP: [_t(Opcode.NOP, "none", [0x90])],
+    Opcode.HALT: [_t(Opcode.HALT, "none", [0xF4])],
+    Opcode.SYSCALL: [_t(Opcode.SYSCALL, "none", [0xF1])],
+}
+
+for _jcc, _cc in JCC_CONDITION.items():
+    ENCODE_TEMPLATES[_jcc] = [
+        _t(_jcc, "rel8", [0x70 + _cc]),
+        _t(_jcc, "rel32", [0x0F, 0x80 + _cc]),
+    ]
+
+
+# Prefix bytes the decoder accepts (semantically inert in RIO-32, present
+# so that prefix plumbing — instr_get_prefixes/instr_set_prefixes in the
+# paper's Figure 3 — has real substance).
+PREFIX_LOCK = 0xF0
+PREFIX_DATA16 = 0x66
+PREFIXES = frozenset((PREFIX_LOCK, PREFIX_DATA16))
+
+
+def _build_decode_maps():
+    """Build byte-indexed decode maps from the encode templates.
+
+    Returns ``(one_byte, two_byte)`` where each maps an opcode byte to
+    either a single :class:`Template` (register-in-opcode forms expand to
+    eight entries each) or, for group opcodes, a dict ``digit → Template``.
+    """
+    one_byte = {}
+    two_byte = {}
+
+    def install(tmpl):
+        opbytes = tmpl.opbytes
+        if opbytes[0] == 0x0F:
+            target, key = two_byte, opbytes[1]
+        else:
+            target, key = one_byte, opbytes[0]
+        if tmpl.form in ("o_r", "o_r_i32"):
+            for r in range(8):
+                k = key + r
+                if k in target:
+                    raise AssertionError("decode conflict at byte 0x%02x" % k)
+                target[k] = tmpl
+            return
+        if tmpl.digit is not None:
+            group = target.setdefault(key, {})
+            if not isinstance(group, dict) or tmpl.digit in group:
+                raise AssertionError("decode conflict at byte 0x%02x" % key)
+            group[tmpl.digit] = tmpl
+            return
+        if key in target:
+            raise AssertionError("decode conflict at byte 0x%02x" % key)
+        target[key] = tmpl
+
+    for templates in ENCODE_TEMPLATES.values():
+        for tmpl in templates:
+            install(tmpl)
+    return one_byte, two_byte
+
+
+DECODE_ONE_BYTE, DECODE_TWO_BYTE = _build_decode_maps()
+
+# Maximum encoded instruction length: prefix + 2 opcode + modrm + sib +
+# disp32 + imm32.
+MAX_INSTR_LENGTH = 12

@@ -1,0 +1,6 @@
+"""Binary images and process address-space layout."""
+
+from repro.loader.image import Image, Section
+from repro.loader.process import Process, Layout
+
+__all__ = ["Image", "Section", "Process", "Layout"]

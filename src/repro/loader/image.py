@@ -1,0 +1,67 @@
+"""A loadable binary image: sections + entry point + symbols.
+
+RIO-32 images are deliberately minimal — the runtime operates on
+*unmodified* binaries, so all an image carries is bytes at addresses.
+Symbols exist purely for tooling (tests, disassembly listings); the
+runtime never reads them, mirroring the paper's constraint that no
+compiler cooperation is available.
+"""
+
+from repro.machine.errors import MachineFault
+
+
+class Section:
+    """A named span of initialized bytes."""
+
+    __slots__ = ("name", "addr", "data", "writable")
+
+    def __init__(self, name, addr, data, writable=False):
+        self.name = name
+        self.addr = addr
+        self.data = bytes(data)
+        self.writable = writable
+
+    @property
+    def end(self):
+        return self.addr + len(self.data)
+
+    def __repr__(self):
+        return "<Section %s [0x%x, 0x%x)>" % (self.name, self.addr, self.end)
+
+
+class Image:
+    """An executable image."""
+
+    def __init__(self, entry=0):
+        self.entry = entry
+        self.sections = []
+        self.symbols = {}
+
+    def add_section(self, name, addr, data, writable=False):
+        new = Section(name, addr, data, writable=writable)
+        for sec in self.sections:
+            if new.addr < sec.end and sec.addr < new.end:
+                raise MachineFault(
+                    "section %s overlaps %s" % (new, sec)
+                )
+        self.sections.append(new)
+        return new
+
+    def add_symbol(self, name, addr):
+        self.symbols[name] = addr
+
+    def symbol(self, name):
+        return self.symbols[name]
+
+    def load_into(self, memory):
+        """Copy all sections into memory."""
+        for sec in self.sections:
+            memory.write_bytes(sec.addr, sec.data)
+
+    def code_bounds(self):
+        """(lowest, highest) address across executable (non-writable)
+        sections; used by tests and tooling only."""
+        code = [s for s in self.sections if not s.writable]
+        if not code:
+            return (0, 0)
+        return (min(s.addr for s in code), max(s.end for s in code))

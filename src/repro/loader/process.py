@@ -1,0 +1,77 @@
+"""Process address-space layout.
+
+The layout keeps four application areas and two runtime areas strictly
+disjoint.  The runtime areas exist so the transparency requirement is
+*checkable*: the runtime allocates its heap and code cache only inside
+its own regions, and tests assert that application loads/stores never
+touch them (and vice versa).
+
+=================  ======================  =========================
+area               default placement       owner
+=================  ======================  =========================
+application code   0x0000_1000             loader (read-only)
+application data   0x0010_0000 (4 MiB)     loader / program
+application stack  up to 0x0080_0000       program (grows down)
+application heap   0x0080_0000 (4 MiB)     program ``brk``-style
+runtime heap       0x0100_0000 (4 MiB)     DynamoRIO reproduction
+code cache         0x0140_0000 (8 MiB)     DynamoRIO reproduction
+=================  ======================  =========================
+"""
+
+from repro.machine.memory import Memory
+
+
+class Layout:
+    """Address-space constants (overridable for tests)."""
+
+    CODE_BASE = 0x0000_1000
+    DATA_BASE = 0x0010_0000
+    DATA_SIZE = 0x0040_0000
+    STACK_TOP = 0x0080_0000
+    STACK_SIZE = 0x0010_0000
+    APP_HEAP_BASE = 0x0080_0000
+    APP_HEAP_SIZE = 0x0040_0000
+    RUNTIME_HEAP_BASE = 0x0100_0000
+    RUNTIME_HEAP_SIZE = 0x0040_0000
+    CODE_CACHE_BASE = 0x0140_0000
+    CODE_CACHE_SIZE = 0x0080_0000
+    MEMORY_SIZE = 0x0200_0000  # 32 MiB
+
+
+class Process:
+    """A loaded program: memory + entry point + layout bookkeeping."""
+
+    def __init__(self, image, layout=None, memory=None):
+        self.layout = layout if layout is not None else Layout()
+        self.memory = (
+            memory if memory is not None else Memory(self.layout.MEMORY_SIZE)
+        )
+        self.image = image
+        self.entry = image.entry
+        lay = self.layout
+        code_lo, code_hi = image.code_bounds()
+        code_size = max(code_hi - lay.CODE_BASE, 0x1000)
+        self.memory.add_region("app_code", lay.CODE_BASE, code_size, writable=False)
+        self.memory.add_region("app_data", lay.DATA_BASE, lay.DATA_SIZE)
+        self.memory.add_region(
+            "app_stack", lay.STACK_TOP - lay.STACK_SIZE, lay.STACK_SIZE
+        )
+        self.memory.add_region("app_heap", lay.APP_HEAP_BASE, lay.APP_HEAP_SIZE)
+        image.load_into(self.memory)
+        self._brk = lay.APP_HEAP_BASE
+
+    def initial_stack_pointer(self):
+        """Aligned initial esp, a little below the stack top."""
+        return self.layout.STACK_TOP - 16
+
+    def sbrk(self, size):
+        """Trivial bump allocator over the application heap (tests)."""
+        addr = self._brk
+        self._brk += (size + 15) & ~15
+        if self._brk > self.layout.APP_HEAP_BASE + self.layout.APP_HEAP_SIZE:
+            raise MemoryError("application heap exhausted")
+        return addr
+
+    def fresh_copy(self):
+        """A new process with freshly loaded memory (for repeat runs)."""
+        return Process(self.image, layout=self.layout)

@@ -1,0 +1,28 @@
+"""The simulated RIO-32 machine.
+
+This is the hardware substrate the reproduction runs on: a flat 32-bit
+byte-addressable memory, a flag-accurate CPU, a deterministic cycle cost
+model (with Pentium 3 / Pentium 4 family quirks), and two reference
+executors — *native* (direct execution cost) and *emulation* (the
+several-hundred-times-slower interpreter baseline of the paper's
+Table 1).
+"""
+
+from repro.machine.errors import MachineError, MachineFault, ProgramExit
+from repro.machine.memory import Memory
+from repro.machine.cpu import CPU
+from repro.machine.cost import CostModel, Family, CycleCounter
+from repro.machine.interp import Interpreter, RunResult
+
+__all__ = [
+    "MachineError",
+    "MachineFault",
+    "ProgramExit",
+    "Memory",
+    "CPU",
+    "CostModel",
+    "Family",
+    "CycleCounter",
+    "Interpreter",
+    "RunResult",
+]

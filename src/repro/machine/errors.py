@@ -1,0 +1,20 @@
+"""Machine-level exceptions."""
+
+
+class MachineError(Exception):
+    """Base class for all simulated-machine errors."""
+
+
+class MachineFault(MachineError):
+    """A hardware fault: bad memory access, divide by zero, bad opcode."""
+
+
+class ProgramExit(Exception):
+    """The running program exited (via ``syscall`` exit or ``hlt``).
+
+    Not a :class:`MachineError`: this is the normal way a program ends.
+    """
+
+    def __init__(self, code):
+        super().__init__("program exited with code %d" % code)
+        self.code = code

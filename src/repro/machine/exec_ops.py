@@ -1,0 +1,193 @@
+"""Execution semantics for non-control-transfer RIO-32 instructions.
+
+Control transfers are *not* handled here: the execution driver (the
+native interpreter, or the runtime's fragment executor) owns them,
+because resolving a branch needs context the instruction alone lacks
+(fall-through address, return-address push, link state).  Everything
+else — data movement, arithmetic, stack ops, syscalls — is executed by
+:func:`execute_noncti` against a :class:`~repro.machine.cpu.CPU`,
+:class:`~repro.machine.memory.Memory` and
+:class:`~repro.machine.system.System`.
+"""
+
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import ImmOperand, MemOperand, RegOperand
+from repro.machine.errors import MachineFault
+
+_MASK32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+def effective_address(cpu, op):
+    """Compute the 32-bit effective address of a memory operand."""
+    addr = op.disp
+    if op.base is not None:
+        addr += cpu.regs[op.base]
+    if op.index is not None:
+        addr += cpu.regs[op.index] * op.scale
+    return addr & _MASK32
+
+
+def read_operand(cpu, mem, op):
+    """Read an operand's value (zero-extended for sub-word memory)."""
+    if isinstance(op, RegOperand):
+        return cpu.regs[op.reg]
+    if isinstance(op, ImmOperand):
+        return op.value & _MASK32
+    if isinstance(op, MemOperand):
+        addr = effective_address(cpu, op)
+        if op.size == 4:
+            return mem.read_u32(addr)
+        if op.size == 2:
+            return mem.read_u16(addr)
+        return mem.read_u8(addr)
+    raise MachineFault("cannot read operand %r" % (op,))
+
+
+def write_operand(cpu, mem, op, value):
+    if isinstance(op, RegOperand):
+        cpu.regs[op.reg] = value & _MASK32
+        return
+    if isinstance(op, MemOperand):
+        addr = effective_address(cpu, op)
+        if op.size == 4:
+            mem.write_u32(addr, value)
+        elif op.size == 1:
+            mem.write_u8(addr, value)
+        else:
+            raise MachineFault("2-byte stores are not part of RIO-32")
+        return
+    raise MachineFault("cannot write operand %r" % (op,))
+
+
+def _sign_extend(value, size):
+    bits = size * 8
+    sign_bit = 1 << (bits - 1)
+    return (value ^ sign_bit) - sign_bit & _MASK32
+
+
+def _signed(value):
+    return value - 0x100000000 if value & _SIGN else value
+
+
+def execute_noncti(cpu, mem, system, opcode, ops):
+    """Execute one non-CTI instruction given its explicit operands."""
+    if opcode == Opcode.MOV:
+        write_operand(cpu, mem, ops[0], read_operand(cpu, mem, ops[1]))
+    elif opcode == Opcode.ADD:
+        a = read_operand(cpu, mem, ops[0])
+        b = read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], cpu.flags_add(a, b))
+    elif opcode == Opcode.SUB:
+        a = read_operand(cpu, mem, ops[0])
+        b = read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], cpu.flags_sub(a, b))
+    elif opcode == Opcode.CMP:
+        a = read_operand(cpu, mem, ops[0])
+        b = read_operand(cpu, mem, ops[1])
+        cpu.flags_sub(a, b)
+    elif opcode == Opcode.INC:
+        write_operand(
+            cpu, mem, ops[0], cpu.flags_inc(read_operand(cpu, mem, ops[0]))
+        )
+    elif opcode == Opcode.DEC:
+        write_operand(
+            cpu, mem, ops[0], cpu.flags_dec(read_operand(cpu, mem, ops[0]))
+        )
+    elif opcode == Opcode.LEA:
+        cpu.regs[ops[0].reg] = effective_address(cpu, ops[1])
+    elif opcode == Opcode.MOVZX:
+        write_operand(cpu, mem, ops[0], read_operand(cpu, mem, ops[1]))
+    elif opcode == Opcode.MOVSX:
+        raw = read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], _sign_extend(raw, ops[1].size))
+    elif opcode == Opcode.MOVB_STORE:
+        write_operand(cpu, mem, ops[0], read_operand(cpu, mem, ops[1]) & 0xFF)
+    elif opcode == Opcode.AND:
+        res = read_operand(cpu, mem, ops[0]) & read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], cpu.flags_logic(res))
+    elif opcode == Opcode.OR:
+        res = read_operand(cpu, mem, ops[0]) | read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], cpu.flags_logic(res))
+    elif opcode == Opcode.XOR:
+        res = read_operand(cpu, mem, ops[0]) ^ read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], cpu.flags_logic(res))
+    elif opcode == Opcode.TEST:
+        cpu.flags_logic(
+            read_operand(cpu, mem, ops[0]) & read_operand(cpu, mem, ops[1])
+        )
+    elif opcode == Opcode.NOT:
+        write_operand(
+            cpu, mem, ops[0], ~read_operand(cpu, mem, ops[0]) & _MASK32
+        )
+    elif opcode == Opcode.NEG:
+        write_operand(
+            cpu, mem, ops[0], cpu.flags_neg(read_operand(cpu, mem, ops[0]))
+        )
+    elif opcode == Opcode.SHL:
+        a = read_operand(cpu, mem, ops[0])
+        n = read_operand(cpu, mem, ops[1]) & 31
+        write_operand(cpu, mem, ops[0], cpu.flags_shl(a, n))
+    elif opcode == Opcode.SHR:
+        a = read_operand(cpu, mem, ops[0])
+        n = read_operand(cpu, mem, ops[1]) & 31
+        write_operand(cpu, mem, ops[0], cpu.flags_shr(a, n))
+    elif opcode == Opcode.SAR:
+        a = read_operand(cpu, mem, ops[0])
+        n = read_operand(cpu, mem, ops[1]) & 31
+        write_operand(cpu, mem, ops[0], cpu.flags_shr(a, n, arithmetic=True))
+    elif opcode == Opcode.IMUL:
+        a = read_operand(cpu, mem, ops[0])
+        b = read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], cpu.flags_imul(a, b))
+    elif opcode == Opcode.DIV:
+        divisor = read_operand(cpu, mem, ops[0])
+        if divisor == 0:
+            raise MachineFault("divide by zero")
+        dividend = cpu.regs[0]  # eax (RIO-32 simplification: not edx:eax)
+        q, r = divmod(dividend, divisor)
+        cpu.regs[0] = q & _MASK32
+        cpu.regs[2] = r & _MASK32
+        cpu.flags_logic(q & _MASK32)  # deterministic defined flags
+    elif opcode == Opcode.PUSH:
+        value = read_operand(cpu, mem, ops[0])
+        cpu.regs[4] = (cpu.regs[4] - 4) & _MASK32
+        mem.write_u32(cpu.regs[4], value)
+    elif opcode == Opcode.POP:
+        value = mem.read_u32(cpu.regs[4])
+        cpu.regs[4] = (cpu.regs[4] + 4) & _MASK32
+        write_operand(cpu, mem, ops[0], value)
+    elif opcode == Opcode.XCHG:
+        a = read_operand(cpu, mem, ops[0])
+        b = read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], b)
+        write_operand(cpu, mem, ops[1], a)
+    elif opcode == Opcode.FLD or opcode == Opcode.FST:
+        write_operand(cpu, mem, ops[0], read_operand(cpu, mem, ops[1]))
+    elif opcode == Opcode.FADD:
+        a = read_operand(cpu, mem, ops[0])
+        b = read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], (a + b) & _MASK32)
+    elif opcode == Opcode.FSUB:
+        a = read_operand(cpu, mem, ops[0])
+        b = read_operand(cpu, mem, ops[1])
+        write_operand(cpu, mem, ops[0], (a - b) & _MASK32)
+    elif opcode == Opcode.FMUL:
+        a = _signed(read_operand(cpu, mem, ops[0]))
+        b = _signed(read_operand(cpu, mem, ops[1]))
+        write_operand(cpu, mem, ops[0], (a * b) & _MASK32)
+    elif opcode == Opcode.FDIV:
+        b = _signed(read_operand(cpu, mem, ops[1]))
+        if b == 0:
+            raise MachineFault("fdiv by zero")
+        a = _signed(read_operand(cpu, mem, ops[0]))
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        write_operand(cpu, mem, ops[0], q & _MASK32)
+    elif opcode == Opcode.NOP or opcode == Opcode.LABEL:
+        pass
+    elif opcode == Opcode.SYSCALL:
+        system.syscall(cpu)
+    else:
+        raise MachineFault("execute_noncti cannot execute %r" % (opcode,))

@@ -1,0 +1,293 @@
+"""Reference executors: native execution and pure emulation.
+
+``Interpreter`` executes a program image directly from memory.  In
+*native* mode its cycle total models the program running on bare
+hardware (instruction costs + branch penalties with BTB/RAS prediction);
+in *emulation* mode every instruction additionally pays the interpreter
+dispatch overhead — the several-hundred-fold slowdown of the paper's
+Table 1 baseline.
+
+The executor decodes each instruction once and memoizes the decode by
+address (invalidated never: application code is immutable under this
+substrate), so *wall-clock* simulation speed does not distort the
+*simulated* cycle accounting.
+"""
+
+from collections import namedtuple
+
+from repro.isa.decoder import decode_full
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.machine.cost import CostModel, CycleCounter
+from repro.machine.cpu import CPU
+from repro.machine.errors import MachineFault, ProgramExit
+from repro.machine.exec_ops import execute_noncti, read_operand
+from repro.machine.predictors import BranchTargetBuffer, ReturnAddressStack
+from repro.machine.system import (
+    System,
+    ThreadExit,
+    pop_signal_frame,
+    push_signal_frame,
+)
+
+_MASK32 = 0xFFFFFFFF
+
+RunResult = namedtuple(
+    "RunResult",
+    ["cycles", "instructions", "output", "exit_code", "events"],
+)
+
+# Default safety net against runaway programs.
+DEFAULT_MAX_INSTRUCTIONS = 100_000_000
+
+
+class _Decoded(namedtuple("_Decoded", ["opcode", "info", "ops", "length", "imm1"])):
+    __slots__ = ()
+
+
+class _NativeThread:
+    """Per-thread architectural state of the native machine."""
+
+    __slots__ = ("cpu", "ras", "alive")
+
+    def __init__(self, cpu, ras):
+        self.cpu = cpu
+        self.ras = ras
+        self.alive = True
+
+
+class Interpreter:
+    """Executes RIO-32 code directly from a process's memory.
+
+    Supports multiple application threads (SYS_SPAWN): threads are
+    scheduled round-robin with an instruction quantum; each has its own
+    CPU state and return-address stack, the BTB is shared (as in
+    hardware).
+    """
+
+    def __init__(self, process, cost_model=None, mode="native", quantum=100):
+        if mode not in ("native", "emulation"):
+            raise ValueError("mode must be 'native' or 'emulation'")
+        self.process = process
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.mode = mode
+        self.quantum = quantum
+        self.cpu = CPU()
+        self.system = System()
+        self.counter = CycleCounter()
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack(self.cost.ras_depth)
+        self._decode_cache = {}
+        self._instructions = 0
+        self._threads = []
+
+    # ------------------------------------------------------------ execution
+
+    def _decode(self, pc):
+        cached = self._decode_cache.get(pc)
+        if cached is not None:
+            return cached
+        mem = self.process.memory
+        try:
+            d = decode_full(mem.view(), pc, pc=pc)
+        except Exception as exc:
+            raise MachineFault("cannot decode at 0x%x: %s" % (pc, exc))
+        info = OP_INFO[d.opcode]
+        imm1 = (
+            d.opcode in (Opcode.ADD, Opcode.SUB)
+            and len(d.operands) == 2
+            and d.operands[1].is_imm()
+            and d.operands[1].value in (1, 0xFFFFFFFF)
+        )
+        decoded = _Decoded(d.opcode, info, d.operands, d.length, imm1)
+        self._decode_cache[pc] = decoded
+        return decoded
+
+    def _spawn(self, entry, stack_pointer):
+        thread = _NativeThread(CPU(), ReturnAddressStack(self.cost.ras_depth))
+        thread.cpu.pc = entry & _MASK32
+        thread.cpu.regs[4] = stack_pointer & _MASK32
+        self._threads.append(thread)
+        self.counter.count("threads_spawned")
+
+    def run(self, entry=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+        """Run until program exit; returns a :class:`RunResult`."""
+        main = _NativeThread(self.cpu, self.ras)
+        main.cpu.pc = self.process.entry if entry is None else entry
+        main.cpu.regs[4] = self.process.initial_stack_pointer()
+        self._threads = [main]
+        self.system.spawn_thread = self._spawn
+        exit_code = None
+        rotor = 0
+        try:
+            while True:
+                alive = [t for t in self._threads if t.alive]
+                if not alive:
+                    break
+                thread = alive[rotor % len(alive)]
+                rotor += 1
+                if len(alive) > 1:
+                    self.counter.charge(self.cost.thread_switch, "thread_switches")
+                try:
+                    self._run_quantum(thread, self.quantum, max_instructions)
+                except ThreadExit:
+                    thread.alive = False
+        except ProgramExit as exit_:
+            exit_code = exit_.code
+        return RunResult(
+            cycles=self.counter.cycles,
+            instructions=self._instructions,
+            output=self.system.output_bytes(),
+            exit_code=exit_code,
+            events=dict(self.counter.events),
+        )
+
+    def _deliver_signal(self, cpu):
+        """Redirect to the signal handler with a full signal frame."""
+        push_signal_frame(cpu, self.process.memory, cpu.pc)
+        cpu.pc = self.system.signal_handler
+        self.system.clear_alarm()
+        self.system.signals_delivered += 1
+        self.counter.charge(self.cost.signal_delivery, "signals_delivered")
+
+    def _run_quantum(self, thread, quantum, max_instructions):
+        cpu = thread.cpu
+        mem = self.process.memory
+        cost = self.cost
+        counter = self.counter
+        emulating = self.mode == "emulation"
+        system = self.system
+        limit = self._instructions + quantum
+        while self._instructions < limit:
+            if system.alarm_in is not None or system.alarm_at is not None:
+                system.convert_alarm(self._instructions)
+                if system.alarm_due(self._instructions) and system.signal_handler:
+                    self._deliver_signal(cpu)
+            if self._instructions >= max_instructions:
+                raise MachineFault(
+                    "instruction budget exhausted (%d)" % max_instructions
+                )
+            pc = cpu.pc
+            d = self._decode(pc)
+            self._instructions += 1
+            if emulating:
+                counter.charge(cost.emulate_per_instr)
+            info = d.info
+            if not info.is_cti:
+                if d.opcode == Opcode.HALT:
+                    raise ProgramExit(cpu.regs[0])
+                counter.cycles += cost.instr_cost(
+                    info,
+                    _explicit_reads_mem(d),
+                    _explicit_writes_mem(d),
+                    d.imm1,
+                )
+                execute_noncti(cpu, mem, self.system, d.opcode, d.ops)
+                cpu.pc = (pc + d.length) & _MASK32
+                continue
+            self._execute_cti(d, pc, thread)
+
+    def _execute_cti(self, d, pc, thread):
+        cpu = thread.cpu
+        mem = self.process.memory
+        cost = self.cost
+        counter = self.counter
+        opcode = d.opcode
+        base = cost.instr_cost(d.info, False, False)
+        fallthrough = (pc + d.length) & _MASK32
+
+        if opcode == Opcode.JMP:
+            counter.charge(base + cost.taken_branch_penalty)
+            cpu.pc = d.ops[0].pc
+        elif d.info.is_cond_branch:
+            if cpu.condition_holds(opcode):
+                counter.charge(base + cost.taken_branch_penalty, "branch_taken")
+                cpu.pc = d.ops[0].pc
+            else:
+                counter.charge(base, "branch_not_taken")
+                cpu.pc = fallthrough
+        elif opcode == Opcode.CALL:
+            counter.charge(base + cost.taken_branch_penalty)
+            cpu.regs[4] = (cpu.regs[4] - 4) & _MASK32
+            mem.write_u32(cpu.regs[4], fallthrough)
+            thread.ras.push(fallthrough)
+            cpu.pc = d.ops[0].pc
+        elif opcode == Opcode.CALL_IND:
+            target = read_operand(cpu, mem, d.ops[0])
+            penalty = 0
+            if not self.btb.predict_and_update(pc, target):
+                penalty = cost.indirect_mispredict
+                counter.count("btb_miss")
+            counter.charge(base + cost.taken_branch_penalty + penalty)
+            cpu.regs[4] = (cpu.regs[4] - 4) & _MASK32
+            mem.write_u32(cpu.regs[4], fallthrough)
+            thread.ras.push(fallthrough)
+            cpu.pc = target
+        elif opcode == Opcode.JMP_IND:
+            target = read_operand(cpu, mem, d.ops[0])
+            penalty = 0
+            if not self.btb.predict_and_update(pc, target):
+                penalty = cost.indirect_mispredict
+                counter.count("btb_miss")
+            counter.charge(base + cost.taken_branch_penalty + penalty)
+            cpu.pc = target
+        elif opcode == Opcode.RET:
+            target = mem.read_u32(cpu.regs[4])
+            cpu.regs[4] = (cpu.regs[4] + 4) & _MASK32
+            penalty = 0
+            if not thread.ras.pop_and_check(target):
+                penalty = cost.ras_mispredict
+                counter.count("ras_miss")
+            counter.charge(base + cost.taken_branch_penalty + penalty)
+            cpu.pc = target
+        elif opcode == Opcode.IRET:
+            target = pop_signal_frame(cpu, mem)
+            # no RAS benefit: interrupt returns are unpredicted
+            counter.charge(
+                base + cost.taken_branch_penalty + cost.indirect_mispredict
+            )
+            cpu.pc = target
+        else:
+            raise MachineFault("unhandled CTI %r" % (opcode,))
+
+
+def _explicit_reads_mem(d):
+    if d.opcode == Opcode.LEA:
+        return False
+    # For stores the first (destination) operand is memory; reads scan
+    # the remaining source-side operands.
+    ops = d.ops
+    if not ops:
+        return False
+    if d.info.shape in ("mov", "lea", "binary", "shift", "unary"):
+        first_is_dst = True
+    else:
+        first_is_dst = False
+    for i, op in enumerate(ops):
+        if op.is_mem():
+            if i == 0 and first_is_dst and d.info.shape == "mov":
+                continue  # pure store
+            return True
+    return False
+
+
+def _explicit_writes_mem(d):
+    ops = d.ops
+    if not ops:
+        return False
+    if d.info.shape in ("mov", "binary", "shift", "unary"):
+        return ops[0].is_mem()
+    return False
+
+
+def run_native(process, cost_model=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    """Convenience: run a process natively and return its RunResult."""
+    return Interpreter(process, cost_model, mode="native").run(
+        max_instructions=max_instructions
+    )
+
+
+def run_emulated(process, cost_model=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    """Convenience: run under pure emulation (Table 1 baseline)."""
+    return Interpreter(process, cost_model, mode="emulation").run(
+        max_instructions=max_instructions
+    )

@@ -1,0 +1,149 @@
+"""Flat byte-addressable memory for the RIO-32 machine.
+
+A single contiguous ``bytearray`` models the low portion of a 32-bit
+address space.  Named *regions* give the loader and the runtime distinct,
+non-overlapping address ranges (application code, application heap,
+stack, and — crucially for the paper's transparency requirements — a
+separate runtime heap and code cache that never alias application
+memory).  Optional write protection catches a client or runtime bug that
+scribbles over application code.
+"""
+
+from repro.machine.errors import MachineFault
+
+_MASK32 = 0xFFFFFFFF
+
+
+class Region:
+    """A named address range ``[start, start+size)``."""
+
+    __slots__ = ("name", "start", "size", "writable")
+
+    def __init__(self, name, start, size, writable=True):
+        self.name = name
+        self.start = start
+        self.size = size
+        self.writable = writable
+
+    @property
+    def end(self):
+        return self.start + self.size
+
+    def contains(self, addr):
+        return self.start <= addr < self.end
+
+    def overlaps(self, other):
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self):
+        return "<Region %s [0x%x, 0x%x)%s>" % (
+            self.name,
+            self.start,
+            self.end,
+            "" if self.writable else " ro",
+        )
+
+
+class Memory:
+    """Simulated physical memory with region bookkeeping."""
+
+    def __init__(self, size=1 << 24):
+        self.size = size
+        self._bytes = bytearray(size)
+        self._regions = {}
+        self._protect = False
+
+    # -------------------------------------------------------------- regions
+
+    def add_region(self, name, start, size, writable=True):
+        region = Region(name, start, size, writable=writable)
+        if region.end > self.size:
+            raise MachineFault(
+                "region %s extends past memory (0x%x > 0x%x)"
+                % (name, region.end, self.size)
+            )
+        for other in self._regions.values():
+            if region.overlaps(other):
+                raise MachineFault(
+                    "region %s overlaps %s" % (region, other)
+                )
+        self._regions[name] = region
+        return region
+
+    def region(self, name):
+        return self._regions[name]
+
+    def regions(self):
+        return list(self._regions.values())
+
+    def region_containing(self, addr):
+        for region in self._regions.values():
+            if region.contains(addr):
+                return region
+        return None
+
+    def set_protection(self, enabled):
+        """Enable/disable write-protection checks (off = fast path)."""
+        self._protect = bool(enabled)
+
+    def _check_write(self, addr, size):
+        region = self.region_containing(addr)
+        if region is not None and not region.writable:
+            raise MachineFault(
+                "write of %d bytes to read-only region %s at 0x%x"
+                % (size, region.name, addr)
+            )
+
+    # ------------------------------------------------------------- accessors
+
+    def read_u8(self, addr):
+        addr &= _MASK32
+        if addr >= self.size:
+            raise MachineFault("read past memory at 0x%x" % addr)
+        return self._bytes[addr]
+
+    def read_u16(self, addr):
+        addr &= _MASK32
+        if addr + 2 > self.size:
+            raise MachineFault("read past memory at 0x%x" % addr)
+        return int.from_bytes(self._bytes[addr : addr + 2], "little")
+
+    def read_u32(self, addr):
+        addr &= _MASK32
+        if addr + 4 > self.size:
+            raise MachineFault("read past memory at 0x%x" % addr)
+        return int.from_bytes(self._bytes[addr : addr + 4], "little")
+
+    def write_u8(self, addr, value):
+        addr &= _MASK32
+        if addr >= self.size:
+            raise MachineFault("write past memory at 0x%x" % addr)
+        if self._protect:
+            self._check_write(addr, 1)
+        self._bytes[addr] = value & 0xFF
+
+    def write_u32(self, addr, value):
+        addr &= _MASK32
+        if addr + 4 > self.size:
+            raise MachineFault("write past memory at 0x%x" % addr)
+        if self._protect:
+            self._check_write(addr, 4)
+        self._bytes[addr : addr + 4] = (value & _MASK32).to_bytes(4, "little")
+
+    def read_bytes(self, addr, n):
+        addr &= _MASK32
+        if addr + n > self.size:
+            raise MachineFault("read past memory at 0x%x" % addr)
+        return bytes(self._bytes[addr : addr + n])
+
+    def write_bytes(self, addr, data):
+        addr &= _MASK32
+        if addr + len(data) > self.size:
+            raise MachineFault("write past memory at 0x%x" % addr)
+        if self._protect:
+            self._check_write(addr, len(data))
+        self._bytes[addr : addr + len(data)] = data
+
+    def view(self):
+        """The raw backing bytearray (for the decoder's fast paths)."""
+        return self._bytes

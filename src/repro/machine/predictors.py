@@ -1,0 +1,50 @@
+"""Branch predictors of the simulated hardware.
+
+Two deterministic predictors model the effects the paper leans on:
+
+* a **BTB** (branch target buffer) of unlimited capacity that predicts
+  each indirect branch site's *last* target — capturing target locality,
+  which is exactly what makes the indirect-branch-dispatch client
+  profitable;
+* a **RAS** (return address stack) of bounded depth — the paper notes
+  the Pentium predicts returns well natively, an advantage DynamoRIO
+  loses because it translates returns into indirect jumps.
+"""
+
+
+class BranchTargetBuffer:
+    """Last-target predictor, keyed by branch site address."""
+
+    def __init__(self):
+        self._last = {}
+
+    def predict_and_update(self, site, target):
+        """True if the prediction was correct (target unchanged)."""
+        hit = self._last.get(site) == target
+        self._last[site] = target
+        return hit
+
+    def reset(self):
+        self._last.clear()
+
+
+class ReturnAddressStack:
+    """Bounded shadow stack of predicted return addresses."""
+
+    def __init__(self, depth=16):
+        self.depth = depth
+        self._stack = []
+
+    def push(self, return_address):
+        self._stack.append(return_address)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop_and_check(self, actual):
+        """True if the return was predicted correctly."""
+        if not self._stack:
+            return False
+        return self._stack.pop() == actual
+
+    def reset(self):
+        self._stack.clear()

@@ -1,0 +1,25 @@
+"""MiniC: a small C-like language compiled to RIO-32.
+
+The paper evaluates on SPEC2000 binaries compiled with ``gcc -O3``; this
+substrate has no gcc, so MiniC plays that role.  Its code generator
+deliberately produces the artifacts each of the paper's optimizations
+keys on:
+
+* **redundant loads** — expression trees keep values in registers, but
+  variables are reloaded from their stack/global homes across
+  statements (IA-32's eight registers force exactly this in real gcc
+  output, the paper's Section 4.1 observation);
+* **inc/dec** — ``++``/``--`` statements and loop steps compile to
+  ``inc``/``dec`` (Section 4.2's target);
+* **indirect branches** — ``switch`` over dense cases compiles to a
+  jump table, and function-pointer calls compile to ``call*``
+  (Section 4.3's target);
+* **call/return structure** — ordinary function calls with a cdecl-like
+  convention (Section 4.4's target).
+
+Public entry point: :func:`repro.minicc.compiler.compile_source`.
+"""
+
+from repro.minicc.compiler import compile_source, CompileError
+
+__all__ = ["compile_source", "CompileError"]

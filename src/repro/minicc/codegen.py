@@ -1,0 +1,782 @@
+"""MiniC code generation to RIO-32 via :class:`~repro.asm.builder.CodeBuilder`.
+
+Calling convention (cdecl-like):
+
+* arguments pushed right-to-left; caller pops;
+* return value in ``eax``; all registers caller-saved;
+* ``ebp`` frame pointer; locals at negative offsets, params at
+  ``[ebp+8+4i]``.
+
+Expression trees evaluate in registers (pool: eax, ecx, edx, ebx, esi,
+edi), but variables live in memory and are reloaded at each statement —
+producing the cross-statement redundant loads the paper's Section 4.1
+client removes.  Loop steps and ``++``/``--`` emit ``inc``/``dec``;
+dense ``switch`` emits a bounds-checked jump table (an indirect jump);
+float-typed arithmetic flows through the FP opcode family.
+"""
+
+from repro.asm.builder import CodeBuilder, mem
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import ImmOperand, MemOperand, RegOperand
+from repro.isa.registers import Reg
+from repro.minicc import ast
+from repro.minicc.sema import SemaError
+
+DATA_BASE = 0x100000
+
+_POOL = (Reg.EAX, Reg.ECX, Reg.EDX, Reg.EBX, Reg.ESI, Reg.EDI)
+
+# Comparison operator → (jcc-if-true, jcc-if-false)
+_CMP_JCC = {
+    "==": (Opcode.JZ, Opcode.JNZ),
+    "!=": (Opcode.JNZ, Opcode.JZ),
+    "<": (Opcode.JL, Opcode.JNL),
+    "<=": (Opcode.JLE, Opcode.JNLE),
+    ">": (Opcode.JNLE, Opcode.JLE),
+    ">=": (Opcode.JNL, Opcode.JL),
+}
+
+_INT_BINOP = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "*": Opcode.IMUL,
+}
+
+_FLOAT_BINOP = {
+    "+": Opcode.FADD,
+    "-": Opcode.FSUB,
+    "*": Opcode.FMUL,
+    "/": Opcode.FDIV,
+}
+
+_SHIFT_OPS = {"<<": Opcode.SHL, ">>": Opcode.SHR}
+
+
+class CodegenError(Exception):
+    pass
+
+
+class _RegPool:
+    """Tracks which expression-temporary registers are live.
+
+    Allocation is round-robin rather than always-lowest: values linger
+    in registers across statements instead of being immediately
+    clobbered by the next expression — the register-use pattern real
+    allocators produce, and what gives redundant-load analyses their
+    cross-statement opportunities.
+    """
+
+    def __init__(self):
+        self.busy = set()
+        self._rotor = 0
+
+    def alloc(self, exclude=()):
+        n = len(_POOL)
+        for step in range(n):
+            reg = _POOL[(self._rotor + step) % n]
+            if reg not in self.busy and reg not in exclude:
+                self.busy.add(reg)
+                self._rotor = (self._rotor + step + 1) % n
+                return reg
+        raise CodegenError("expression too complex: register pool exhausted")
+
+    def free(self, reg):
+        self.busy.discard(reg)
+
+    def live(self):
+        return [r for r in _POOL if r in self.busy]
+
+
+class FunctionCodegen:
+    def __init__(self, compiler, func_info):
+        self.compiler = compiler
+        self.builder = compiler.builder
+        self.info = compiler.info
+        self.func = func_info
+        self.pool = _RegPool()
+        self.break_labels = []
+        self.continue_labels = []
+        self._label_counter = 0
+
+    # -------------------------------------------------------------- helpers
+
+    def new_label(self, hint):
+        self._label_counter += 1
+        return ".L_%s_%s_%d" % (self.func.node.name, hint, self._label_counter)
+
+    def var_home(self, binding):
+        """The memory operand where a variable lives."""
+        if isinstance(binding, ast.GlobalVar):
+            return mem(disp=self.compiler.global_addr[binding.name])
+        if isinstance(binding, ast.Param):
+            return mem(base=Reg.EBP, disp=self.func.param_offsets[binding.name])
+        if isinstance(binding, ast.LocalVar):
+            return mem(base=Reg.EBP, disp=binding.offset)
+        raise AssertionError("unknown binding %r" % (binding,))
+
+    def _is_float(self, t):
+        return t is not None and t.is_float()
+
+    # ----------------------------------------------------------- expressions
+
+    def gen_expr(self, expr):
+        """Generate code leaving the value in a freshly allocated register."""
+        b = self.builder
+        if isinstance(expr, ast.Num):
+            reg = self.pool.alloc()
+            b.mov(reg, expr.value)
+            return reg
+        if isinstance(expr, ast.Var):
+            binding = expr.binding
+            if (
+                isinstance(binding, (ast.GlobalVar, ast.LocalVar))
+                and binding.array_size is not None
+            ):
+                # array decays to its address
+                reg = self.pool.alloc()
+                if isinstance(binding, ast.GlobalVar):
+                    b.mov(reg, self.compiler.global_addr[binding.name])
+                else:
+                    b.lea(reg, mem(base=Reg.EBP, disp=binding.offset))
+                return reg
+            reg = self.pool.alloc()
+            if self._is_float(expr.type):
+                b.fld(reg, self.var_home(binding))
+            else:
+                b.mov(reg, self.var_home(binding))
+            return reg
+        if isinstance(expr, ast.Index):
+            addr_op, held = self._index_operand(expr)
+            reg = self.pool.alloc()
+            if self._is_float(expr.type):
+                b.fld(reg, addr_op)
+            else:
+                b.mov(reg, addr_op)
+            if held is not None:
+                self.pool.free(held)
+            return reg
+        if isinstance(expr, ast.Unary):
+            reg = self.gen_expr(expr.operand)
+            if expr.op == "-":
+                if self._is_float(expr.operand.type):
+                    tmp = self.pool.alloc()
+                    b.mov(tmp, 0)
+                    b.fsub(tmp, reg)
+                    b.mov(reg, RegOperand(tmp))
+                    self.pool.free(tmp)
+                else:
+                    b.neg(reg)
+            elif expr.op == "~":
+                b.not_(reg)
+            elif expr.op == "!":
+                # reg = (reg == 0)
+                done = self.new_label("notz")
+                b.cmp(reg, 0)
+                b.mov(reg, 1)
+                b.jz(done)
+                b.mov(reg, 0)
+                b.label(done)
+            return reg
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr)
+        if isinstance(expr, ast.AddrOf):
+            reg = self.pool.alloc()
+            if expr.name in self.info.functions:
+                b.mov(reg, b.label_address(_fn_label(expr.name)))
+            else:
+                b.mov(reg, self.compiler.global_addr[expr.name])
+            return reg
+        raise AssertionError("unknown expression %r" % (expr,))
+
+    def _index_operand(self, expr):
+        """Memory operand for ``base[index]``.
+
+        Returns ``(operand, held_reg)`` — ``held_reg`` (may be None) must
+        be freed by the caller once the access is done.
+        """
+        b = self.builder
+        binding = expr.base.binding
+        # constant index fast path
+        const = expr.index.value if isinstance(expr.index, ast.Num) else None
+        if isinstance(binding, ast.GlobalVar) and binding.array_size is not None:
+            addr = self.compiler.global_addr[binding.name]
+            if const is not None:
+                return mem(disp=addr + 4 * const), None
+            ireg = self.gen_expr(expr.index)
+            return mem(index=ireg, scale=4, disp=addr), ireg
+        if isinstance(binding, ast.LocalVar) and binding.array_size is not None:
+            if const is not None:
+                return mem(base=Reg.EBP, disp=binding.offset + 4 * const), None
+            ireg = self.gen_expr(expr.index)
+            return (
+                mem(base=Reg.EBP, index=ireg, scale=4, disp=binding.offset),
+                ireg,
+            )
+        # pointer variable: load the pointer, then index
+        preg = self.gen_expr(expr.base)
+        if const is not None:
+            return mem(base=preg, disp=4 * const), preg
+        ireg = self.gen_expr(expr.index)
+        # fold into one operand [preg + ireg*4]; both registers held —
+        # free the index here, hand the pointer back to the caller.
+        op = mem(base=preg, index=ireg, scale=4)
+        # caller frees only one; free index after building the operand is
+        # unsafe (operand still references it), so lea-combine instead.
+        b.lea(preg, op)
+        self.pool.free(ireg)
+        return mem(base=preg), preg
+
+    def _gen_binary(self, expr):
+        b = self.builder
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_shortcircuit(expr)
+        if op in _CMP_JCC:
+            rl = self.gen_expr(expr.left)
+            rr_op, rr_held = self._rhs_operand(expr.right)
+            b.cmp(rl, rr_op)
+            if rr_held is not None:
+                self.pool.free(rr_held)
+            true_jcc, _ = _CMP_JCC[op]
+            if not expr.left.type.is_int() or not expr.right.type.is_int():
+                pass  # fixed-point compare uses the same cmp
+            done = self.new_label("cmp")
+            b.mov(rl, 1)
+            b.instr(true_jcc, done)
+            b.mov(rl, 0)
+            b.label(done)
+            return rl
+        if self._is_float(expr.type):
+            opcode = _FLOAT_BINOP.get(op)
+            if opcode is None:
+                raise CodegenError("float op %s unsupported" % op)
+            # Fixed-point strength reduction, as a real compiler does:
+            # division by a power-of-two constant is an arithmetic shift.
+            if (
+                op == "/"
+                and isinstance(expr.right, ast.Num)
+                and expr.right.value > 0
+                and expr.right.value & (expr.right.value - 1) == 0
+            ):
+                rl = self.gen_expr(expr.left)
+                shift = expr.right.value.bit_length() - 1
+                b.sar(rl, ImmOperand(shift, 1))
+                return rl
+            rl = self.gen_expr(expr.left)
+            rr_op, rr_held = self._rhs_operand(expr.right, allow_imm=False)
+            b.instr(opcode, rl, rr_op)
+            if rr_held is not None:
+                self.pool.free(rr_held)
+            return rl
+        if op in _INT_BINOP:
+            rl = self.gen_expr(expr.left)
+            rr_op, rr_held = self._rhs_operand(expr.right)
+            if op == "*" and isinstance(rr_op, ImmOperand):
+                # imul has no imm form in RIO-32; materialize.
+                tmp = self.pool.alloc()
+                b.mov(tmp, rr_op)
+                rr_op, rr_held = RegOperand(tmp), tmp
+            b.instr(_INT_BINOP[op], rl, rr_op)
+            if rr_held is not None:
+                self.pool.free(rr_held)
+            return rl
+        if op in _SHIFT_OPS:
+            rl = self.gen_expr(expr.left)
+            if isinstance(expr.right, ast.Num):
+                b.instr(_SHIFT_OPS[op], rl, ImmOperand(expr.right.value, 1))
+                return rl
+            # variable shift count must be in ecx
+            rr = self.gen_expr(expr.right)
+            return self._gen_variable_shift(op, rl, rr)
+        if op in ("/", "%"):
+            return self._gen_div(expr, op)
+        raise AssertionError("unknown binary op %r" % op)
+
+    def _rhs_operand(self, expr, allow_imm=True):
+        """Right-hand operand: immediate, variable home, or register.
+
+        Using the variable's memory home directly (``add eax, [ebp-8]``)
+        matches how a real compiler folds loads into ALU ops — and
+        leaves exactly the load-reuse opportunities RLR targets.
+        """
+        if allow_imm and isinstance(expr, ast.Num):
+            return ImmOperand(expr.value, 4), None
+        if isinstance(expr, ast.Var):
+            binding = expr.binding
+            is_array = (
+                isinstance(binding, (ast.GlobalVar, ast.LocalVar))
+                and binding.array_size is not None
+            )
+            if not is_array:
+                return self.var_home(binding), None
+        reg = self.gen_expr(expr)
+        return RegOperand(reg), reg
+
+    def _gen_shortcircuit(self, expr):
+        b = self.builder
+        result = self.pool.alloc()
+        done = self.new_label("sc_done")
+        if expr.op == "&&":
+            false_label = self.new_label("sc_false")
+            self.gen_cond(expr, None, false_label, fallthrough="true")
+            b.mov(result, 1)
+            b.jmp(done)
+            b.label(false_label)
+            b.mov(result, 0)
+            b.label(done)
+        else:
+            true_label = self.new_label("sc_true")
+            self.gen_cond(expr, true_label, None, fallthrough="false")
+            b.mov(result, 0)
+            b.jmp(done)
+            b.label(true_label)
+            b.mov(result, 1)
+            b.label(done)
+        return result
+
+    def _gen_variable_shift(self, op, rl, rr):
+        b = self.builder
+        opcode = _SHIFT_OPS[op]
+        if rr == Reg.ECX:
+            if rl == Reg.ECX:
+                raise CodegenError("shift with both operands in ecx")
+            b.instr(opcode, rl, RegOperand(Reg.ECX))
+            self.pool.free(rr)
+            return rl
+        # move count into ecx, saving it if live
+        saved = Reg.ECX in self.pool.busy and Reg.ECX != rl
+        if saved:
+            b.push(Reg.ECX)
+        if rl == Reg.ECX:
+            # swap: value must leave ecx
+            b.xchg(rl, rr)
+            rl, rr = rr, rl
+        b.mov(Reg.ECX, RegOperand(rr))
+        b.instr(opcode, rl, RegOperand(Reg.ECX))
+        if saved:
+            b.pop(Reg.ECX)
+        self.pool.free(rr)
+        return rl
+
+    def _gen_div(self, expr, op):
+        b = self.builder
+        rl = self.gen_expr(expr.left)
+        rr = self.gen_expr(expr.right)
+        # divisor must avoid eax/edx (div's implicit operands)
+        if rr in (Reg.EAX, Reg.EDX):
+            tmp = self.pool.alloc(exclude=(Reg.EAX, Reg.EDX))
+            b.mov(tmp, RegOperand(rr))
+            self.pool.free(rr)
+            rr = tmp
+        pushed = []
+        if Reg.EDX in self.pool.busy and rl != Reg.EDX:
+            b.push(Reg.EDX)
+            pushed.append(Reg.EDX)
+        if Reg.EAX in self.pool.busy and rl != Reg.EAX:
+            b.push(Reg.EAX)
+            pushed.append(Reg.EAX)
+        if rl != Reg.EAX:
+            b.mov(Reg.EAX, RegOperand(rl))
+        b.div(rr)
+        result = Reg.EAX if op == "/" else Reg.EDX
+        if rl != result:
+            b.mov(rl, RegOperand(result))
+        for reg in reversed(pushed):
+            b.pop(reg)
+        self.pool.free(rr)
+        return rl
+
+    def gen_call(self, expr):
+        b = self.builder
+        live = self.pool.live()
+        for reg in live:
+            b.push(reg)
+        # Arguments right-to-left.  Temporaries for argument evaluation
+        # start from a clean pool snapshot; anything live was saved.
+        for arg in reversed(expr.args):
+            areg = self.gen_expr(arg)
+            b.push(areg)
+            self.pool.free(areg)
+        if expr.indirect:
+            freg = self.gen_expr(expr.callee)
+            b.call_ind(freg)
+            self.pool.free(freg)
+        else:
+            b.call(_fn_label(expr.callee))
+        if expr.args:
+            b.add(Reg.ESP, 4 * len(expr.args))
+        dest = self.pool.alloc(exclude=live)
+        if dest != Reg.EAX:
+            b.mov(dest, RegOperand(Reg.EAX))
+        for reg in reversed(live):
+            b.pop(reg)
+        return dest
+
+    # ----------------------------------------------------------- conditions
+
+    def gen_cond(self, expr, true_label, false_label, fallthrough):
+        """Branching evaluation of a condition.
+
+        Exactly one of ``true_label``/``false_label`` may be None when
+        execution should fall through on that outcome (``fallthrough``
+        names which outcome falls through: "true" or "false").
+        """
+        b = self.builder
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_JCC:
+            rl = self.gen_expr(expr.left)
+            rr_op, rr_held = self._rhs_operand(expr.right)
+            b.cmp(rl, rr_op)
+            self.pool.free(rl)
+            if rr_held is not None:
+                self.pool.free(rr_held)
+            true_jcc, false_jcc = _CMP_JCC[expr.op]
+            if fallthrough == "true":
+                b.instr(false_jcc, false_label)
+            else:
+                b.instr(true_jcc, true_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            fl = false_label or self.new_label("and_false")
+            self.gen_cond(expr.left, None, fl, fallthrough="true")
+            self.gen_cond(expr.right, true_label, false_label, fallthrough)
+            if false_label is None:
+                # right side falls through to true; left's false label
+                # must skip to... the caller's fallthrough is "false",
+                # contradiction — handled by the callers always passing
+                # a concrete false label for &&.
+                b.label(fl)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            tl = true_label or self.new_label("or_true")
+            self.gen_cond(expr.left, tl, None, fallthrough="false")
+            self.gen_cond(expr.right, true_label, false_label, fallthrough)
+            if true_label is None:
+                b.label(tl)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_cond(
+                expr.operand,
+                false_label,
+                true_label,
+                "true" if fallthrough == "false" else "false",
+            )
+            return
+        # general value: compare against zero
+        reg = self.gen_expr(expr)
+        b.cmp(reg, 0)
+        self.pool.free(reg)
+        if fallthrough == "true":
+            b.jz(false_label)
+        else:
+            b.jnz(true_label)
+
+    # ----------------------------------------------------------- statements
+
+    def gen_stmt(self, stmt):
+        b = self.builder
+        if isinstance(stmt, ast.Block):
+            for s in stmt.statements:
+                self.gen_stmt(s)
+        elif isinstance(stmt, ast.DeclStmt):
+            if stmt.init is not None:
+                reg = self.gen_expr(stmt.init)
+                self._store(stmt.var, stmt.var.type, reg)
+                self.pool.free(reg)
+        elif isinstance(stmt, ast.ExprStmt):
+            reg = self.gen_expr(stmt.expr)
+            self.pool.free(reg)
+        elif isinstance(stmt, ast.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, ast.IncDec):
+            self.gen_incdec(stmt)
+        elif isinstance(stmt, ast.If):
+            else_label = self.new_label("else")
+            end_label = self.new_label("endif")
+            self.gen_cond(
+                stmt.cond,
+                None,
+                else_label if stmt.otherwise else end_label,
+                fallthrough="true",
+            )
+            self.gen_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                b.jmp(end_label)
+                b.label(else_label)
+                self.gen_stmt(stmt.otherwise)
+            b.label(end_label)
+        elif isinstance(stmt, ast.While):
+            # Rotated (bottom-test) loop, like gcc -O: an entry guard,
+            # then the body with a backward conditional branch at the
+            # bottom.  The backward jcc is what makes the loop top a
+            # natural trace head and places the flags-writing compare
+            # *after* the body's inc/dec on the linear trace.
+            top = self.new_label("while")
+            test_label = self.new_label("whiletest")
+            end = self.new_label("endwhile")
+            self.gen_cond(stmt.cond, None, end, fallthrough="true")
+            b.label(top)
+            self.break_labels.append(end)
+            self.continue_labels.append(test_label)
+            self.gen_stmt(stmt.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            b.label(test_label)
+            self.gen_cond(stmt.cond, top, None, fallthrough="false")
+            b.label(end)
+        elif isinstance(stmt, ast.For):
+            top = self.new_label("for")
+            step_label = self.new_label("forstep")
+            end = self.new_label("endfor")
+            if stmt.init is not None:
+                self.gen_stmt(stmt.init)
+            if stmt.cond is not None:
+                self.gen_cond(stmt.cond, None, end, fallthrough="true")
+            b.label(top)
+            self.break_labels.append(end)
+            self.continue_labels.append(step_label)
+            self.gen_stmt(stmt.body)
+            self.break_labels.pop()
+            self.continue_labels.pop()
+            b.label(step_label)
+            if stmt.step is not None:
+                self.gen_stmt(stmt.step)
+            if stmt.cond is not None:
+                self.gen_cond(stmt.cond, top, None, fallthrough="false")
+            else:
+                b.jmp(top)
+            b.label(end)
+        elif isinstance(stmt, ast.Switch):
+            self.gen_switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self.gen_expr(stmt.value)
+                if reg != Reg.EAX:
+                    b.mov(Reg.EAX, RegOperand(reg))
+                self.pool.free(reg)
+            b.jmp(self.epilogue_label)
+        elif isinstance(stmt, ast.Break):
+            b.jmp(self.break_labels[-1])
+        elif isinstance(stmt, ast.Continue):
+            b.jmp(self.continue_labels[-1])
+        elif isinstance(stmt, ast.Print):
+            reg = self.gen_expr(stmt.value)
+            live = [r for r in self.pool.live() if r != reg]
+            for r in live:
+                b.push(r)
+            if reg != Reg.EBX:
+                if Reg.EBX in self.pool.busy:
+                    b.push(Reg.EBX)
+                    live.append(Reg.EBX)
+                b.mov(Reg.EBX, RegOperand(reg))
+            b.mov(Reg.EAX, 3 if stmt.kind == "print" else 2)
+            b.syscall()
+            for r in reversed(live):
+                b.pop(r)
+            self.pool.free(reg)
+        elif isinstance(stmt, ast.Exit):
+            reg = self.gen_expr(stmt.value)
+            if reg != Reg.EBX:
+                b.mov(Reg.EBX, RegOperand(reg))
+            b.mov(Reg.EAX, 1)
+            b.syscall()
+            self.pool.free(reg)
+        elif isinstance(stmt, ast.Spawn):
+            self.gen_spawn(stmt)
+        elif isinstance(stmt, ast.SigHandler):
+            self._gen_ebx_syscall(stmt.fn, 6)
+        elif isinstance(stmt, ast.Alarm):
+            self._gen_ebx_syscall(stmt.count, 7)
+        elif isinstance(stmt, ast.SigReturn):
+            b.mov(Reg.ESP, RegOperand(Reg.EBP))
+            b.pop(Reg.EBP)
+            b.iret()
+        else:
+            raise AssertionError("unknown statement %r" % (stmt,))
+
+    def _store(self, binding_or_var, t, reg):
+        b = self.builder
+        binding = (
+            binding_or_var.binding
+            if isinstance(binding_or_var, ast.Var)
+            else binding_or_var
+        )
+        home = self.var_home(binding)
+        if t is not None and t.is_float():
+            b.fst(home, reg)
+        else:
+            b.mov(home, RegOperand(reg))
+
+    def gen_assign(self, stmt):
+        b = self.builder
+        target = stmt.target
+        value_is_float = self._is_float(
+            target.type if target.type is not None else None
+        )
+        if stmt.op == "=":
+            reg = self.gen_expr(stmt.value)
+            if isinstance(target, ast.Var):
+                self._store(target, target.type, reg)
+            else:
+                addr_op, held = self._index_operand(target)
+                if value_is_float:
+                    b.fst(addr_op, reg)
+                else:
+                    b.mov(addr_op, RegOperand(reg))
+                if held is not None:
+                    self.pool.free(held)
+            self.pool.free(reg)
+            return
+        # compound assignment: load, op, store
+        binop = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}[stmt.op]
+        load = (
+            target
+            if isinstance(target, ast.Var)
+            else ast.Index(target.base, target.index, line=stmt.line)
+        )
+        load.type = target.type
+        combined = ast.Binary(binop, load, stmt.value, line=stmt.line)
+        combined.type = target.type
+        reg = self.gen_expr(combined)
+        if isinstance(target, ast.Var):
+            self._store(target, target.type, reg)
+        else:
+            addr_op, held = self._index_operand(target)
+            if value_is_float:
+                b.fst(addr_op, reg)
+            else:
+                b.mov(addr_op, RegOperand(reg))
+            if held is not None:
+                self.pool.free(held)
+        self.pool.free(reg)
+
+    def gen_incdec(self, stmt):
+        b = self.builder
+        opcode = Opcode.INC if stmt.op == "++" else Opcode.DEC
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            b.instr(opcode, self.var_home(target.binding))
+        else:
+            addr_op, held = self._index_operand(target)
+            b.instr(opcode, addr_op)
+            if held is not None:
+                self.pool.free(held)
+
+    def _gen_ebx_syscall(self, value_expr, number):
+        """Syscall with one argument in ebx (sighandler/alarm)."""
+        b = self.builder
+        reg = self.gen_expr(value_expr)
+        live = [r for r in self.pool.live() if r != reg]
+        for r in live:
+            b.push(r)
+        if reg != Reg.EBX:
+            if Reg.EBX in self.pool.busy:
+                b.push(Reg.EBX)
+                live.append(Reg.EBX)
+            b.mov(Reg.EBX, RegOperand(reg))
+        b.mov(Reg.EAX, number)
+        b.syscall()
+        for r in reversed(live):
+            b.pop(r)
+        self.pool.free(reg)
+
+    def gen_spawn(self, stmt):
+        """spawn(fn, stack): plant the thread-exit trampoline as the new
+        thread's return address, then SYS_SPAWN (ebx=entry, ecx=esp)."""
+        b = self.builder
+        fn_reg = self.gen_expr(stmt.fn)
+        sp_reg = self.gen_expr(stmt.stack)
+        # [sp-4] = &__thread_exit; new esp = sp-4
+        b.mov(
+            mem(base=sp_reg, disp=-4),
+            b.label_address("__thread_exit"),
+        )
+        b.lea(sp_reg, mem(base=sp_reg, disp=-4))
+        live = [r for r in self.pool.live() if r not in (fn_reg, sp_reg)]
+        for r in live:
+            b.push(r)
+        b.push(fn_reg)
+        b.push(sp_reg)
+        b.pop(Reg.ECX)  # stack pointer
+        b.pop(Reg.EBX)  # entry
+        b.mov(Reg.EAX, 4)
+        b.syscall()
+        for r in reversed(live):
+            b.pop(r)
+        self.pool.free(fn_reg)
+        self.pool.free(sp_reg)
+        self.compiler.uses_spawn = True
+
+    def gen_switch(self, stmt):
+        b = self.builder
+        end = self.new_label("endswitch")
+        default_label = self.new_label("default")
+        case_labels = {value: self.new_label("case%d" % value) for value, _ in stmt.cases}
+        reg = self.gen_expr(stmt.value)
+
+        values = sorted(case_labels)
+        dense = (
+            len(values) >= 3
+            and values[-1] - values[0] + 1 <= max(2 * len(values), 8)
+            and values[-1] - values[0] + 1 <= 128
+        )
+        if dense:
+            lo, hi = values[0], values[-1]
+            table_label = self.new_label("jumptable")
+            if lo != 0:
+                b.sub(reg, lo)
+            b.cmp(reg, hi - lo + 1)
+            b.jnb(default_label)
+            treg = self.pool.alloc()
+            b.mov(treg, b.label_address(table_label))
+            b.jmp_ind(mem(base=treg, index=reg, scale=4))
+            self.pool.free(treg)
+            self.pool.free(reg)
+            # table in text, jumped over by construction (placed at end)
+            self.compiler.pending_tables.append(
+                (table_label, [case_labels.get(lo + i, default_label)
+                               for i in range(hi - lo + 1)])
+            )
+        else:
+            for value in values:
+                b.cmp(reg, value)
+                b.jz(case_labels[value])
+            self.pool.free(reg)
+            b.jmp(default_label)
+
+        self.break_labels.append(end)
+        for value, block in stmt.cases:
+            b.label(case_labels[value])
+            self.gen_stmt(block)
+        b.label(default_label)
+        if stmt.default is not None:
+            self.gen_stmt(stmt.default)
+        self.break_labels.pop()
+        b.label(end)
+        if not dense:
+            return
+
+    # -------------------------------------------------------------- function
+
+    def generate(self):
+        b = self.builder
+        func = self.func.node
+        b.label(_fn_label(func.name))
+        self.epilogue_label = self.new_label("epilogue")
+        b.push(Reg.EBP)
+        b.mov(Reg.EBP, RegOperand(Reg.ESP))
+        if self.func.frame_size:
+            b.sub(Reg.ESP, self.func.frame_size)
+        self.gen_stmt(func.body)
+        b.label(self.epilogue_label)
+        b.mov(Reg.ESP, RegOperand(Reg.EBP))
+        b.pop(Reg.EBP)
+        b.ret()
+
+
+def _fn_label(name):
+    return "fn_" + name

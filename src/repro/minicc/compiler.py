@@ -1,0 +1,83 @@
+"""MiniC compiler driver: source text → executable Image."""
+
+from repro.asm.builder import CodeBuilder
+from repro.isa.registers import Reg
+from repro.isa.operands import RegOperand
+from repro.loader.process import Layout
+from repro.minicc import ast
+from repro.minicc.codegen import DATA_BASE, CodegenError, FunctionCodegen, _fn_label
+from repro.minicc.lexer import LexError
+from repro.minicc.parser import ParseError, parse
+from repro.minicc.sema import SemaError, analyze
+
+
+class CompileError(Exception):
+    """Any MiniC front-end or back-end error, with source line info."""
+
+
+class Compiler:
+    def __init__(self, info, base=Layout.CODE_BASE, data_base=DATA_BASE):
+        self.info = info
+        self.builder = CodeBuilder(base=base)
+        self.data_base = data_base
+        self.global_addr = {}
+        self.data = bytearray()
+        self.pending_tables = []  # (label, [target labels]) jump tables
+        self.uses_spawn = False
+
+    def layout_globals(self):
+        addr = self.data_base
+        for g in self.info.program.globals:
+            self.global_addr[g.name] = addr
+            count = g.array_size or 1
+            values = [0] * count
+            if g.init is not None:
+                if isinstance(g.init, list):
+                    values[: len(g.init)] = g.init
+                else:
+                    values[0] = g.init
+            for v in values:
+                self.data += (v & 0xFFFFFFFF).to_bytes(4, "little")
+            addr += 4 * count
+
+    def generate(self):
+        b = self.builder
+        # Entry stub: call main, exit with its return value.
+        b.label("_start")
+        b.call(_fn_label("main"))
+        b.mov(Reg.EBX, RegOperand(Reg.EAX))
+        b.mov(Reg.EAX, 1)
+        b.syscall()
+        for func_info in self.info.functions.values():
+            FunctionCodegen(self, func_info).generate()
+        if self.uses_spawn:
+            # Thread functions "return" here (spawn plants this address
+            # on the new stack): exit the calling thread.
+            b.label("__thread_exit")
+            b.mov(Reg.EAX, 5)
+            b.syscall()
+            b.jmp("__thread_exit")  # unreachable safety net
+        # Jump tables go after all code so they are never executed.
+        for label, targets in self.pending_tables:
+            b.label(label)
+            for target in targets:
+                b.word_label(target)
+
+    def image(self):
+        sections = []
+        if self.data:
+            sections.append((".data", self.data_base, bytes(self.data)))
+        return self.builder.image(entry="_start", data_sections=sections)
+
+
+def compile_source(source, base=Layout.CODE_BASE, data_base=DATA_BASE):
+    """Compile MiniC source to an executable :class:`Image`."""
+    try:
+        program = parse(source)
+        info = analyze(program)
+        compiler = Compiler(info, base=base, data_base=data_base)
+        compiler.layout_globals()
+        compiler.generate()
+        return compiler.image()
+    except (LexError, ParseError, SemaError, CodegenError) as exc:
+        raise CompileError(str(exc)) from exc

@@ -1,0 +1,53 @@
+"""MiniC lexer."""
+
+import re
+from collections import namedtuple
+
+Token = namedtuple("Token", ["kind", "value", "line"])
+
+KEYWORDS = frozenset(
+    """int float void if else while for return break continue
+    switch case default print putc exit spawn sighandler alarm sigreturn""".split()
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op><<=?|>>=?|<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|/=|[-+*/%<>=!&|^~(){}\[\];,?:])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class LexError(Exception):
+    def __init__(self, line, message):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+def tokenize(source):
+    """Tokenize MiniC source into a list of Tokens (ending with 'eof')."""
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LexError(line, "unexpected character %r" % source[pos])
+        text = m.group(0)
+        line += text.count("\n")
+        pos = m.end()
+        if m.lastgroup in ("ws", "comment"):
+            continue
+        if m.lastgroup == "num":
+            tokens.append(Token("num", int(text, 0), line))
+        elif m.lastgroup == "ident":
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token(text, text, line))
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,399 @@
+"""MiniC recursive-descent parser."""
+
+from repro.minicc import ast
+from repro.minicc.lexer import tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, line, message):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+_ASSIGN_OPS = frozenset(("=", "+=", "-=", "*=", "/="))
+
+# Binary operator precedence levels, loosest first.
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind):
+        tok = self.next()
+        if tok.kind != kind:
+            raise ParseError(
+                tok.line, "expected %r, found %r" % (kind, tok.value)
+            )
+        return tok
+
+    def accept(self, kind):
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def at_type(self):
+        return self.peek().kind in ("int", "float", "void")
+
+    # -------------------------------------------------------------- program
+
+    def parse_program(self):
+        globals_ = []
+        functions = []
+        while self.peek().kind != "eof":
+            if not self.at_type():
+                raise ParseError(
+                    self.peek().line,
+                    "expected declaration, found %r" % self.peek().value,
+                )
+            # lookahead: type ident '(' → function
+            offset = 1
+            if self.peek(offset).kind == "*":
+                offset += 1
+            if (
+                self.peek(offset).kind == "ident"
+                and self.peek(offset + 1).kind == "("
+            ):
+                functions.append(self.parse_function())
+            else:
+                globals_.append(self.parse_global())
+        return ast.Program(globals_, functions)
+
+    def parse_type(self):
+        tok = self.next()
+        if tok.kind == "int":
+            base = ast.INT
+        elif tok.kind == "float":
+            base = ast.FLOAT
+        elif tok.kind == "void":
+            base = ast.VOID
+        else:
+            raise ParseError(tok.line, "expected type, found %r" % tok.value)
+        if self.accept("*"):
+            base = ast.Type("ptr", base)
+        return base
+
+    def parse_global(self):
+        line = self.peek().line
+        type_ = self.parse_type()
+        name = self.expect("ident").value
+        array_size = None
+        init = None
+        if self.accept("["):
+            array_size = self.expect("num").value
+            self.expect("]")
+        if self.accept("="):
+            if self.accept("{"):
+                values = [self._signed_num()]
+                while self.accept(","):
+                    values.append(self._signed_num())
+                self.expect("}")
+                init = values
+            else:
+                init = self._signed_num()
+        self.expect(";")
+        return ast.GlobalVar(name, type_, array_size, init, line=line)
+
+    def _signed_num(self):
+        neg = self.accept("-")
+        value = self.expect("num").value
+        return -value if neg else value
+
+    def parse_function(self):
+        line = self.peek().line
+        return_type = self.parse_type()
+        name = self.expect("ident").value
+        self.expect("(")
+        params = []
+        if self.peek().kind != ")":
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").value
+                params.append(ast.Param(pname, ptype, line=self.peek().line))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.Function(name, return_type, params, body, line=line)
+
+    # ------------------------------------------------------------ statements
+
+    def parse_block(self):
+        line = self.expect("{").line
+        statements = []
+        while self.peek().kind != "}":
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return ast.Block(statements, line=line)
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.kind == "{":
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_decl_stmt()
+        if tok.kind == "if":
+            return self.parse_if()
+        if tok.kind == "while":
+            return self.parse_while()
+        if tok.kind == "for":
+            return self.parse_for()
+        if tok.kind == "switch":
+            return self.parse_switch()
+        if tok.kind == "return":
+            self.next()
+            value = None
+            if self.peek().kind != ";":
+                value = self.parse_expr()
+            self.expect(";")
+            return ast.Return(value, line=tok.line)
+        if tok.kind == "break":
+            self.next()
+            self.expect(";")
+            return ast.Break(tok.line)
+        if tok.kind == "continue":
+            self.next()
+            self.expect(";")
+            return ast.Continue(tok.line)
+        if tok.kind in ("print", "putc"):
+            self.next()
+            self.expect("(")
+            value = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.Print(value, tok.kind, line=tok.line)
+        if tok.kind == "exit":
+            self.next()
+            self.expect("(")
+            value = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.Exit(value, line=tok.line)
+        if tok.kind == "sighandler":
+            self.next()
+            self.expect("(")
+            fn = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.SigHandler(fn, line=tok.line)
+        if tok.kind == "alarm":
+            self.next()
+            self.expect("(")
+            count = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.Alarm(count, line=tok.line)
+        if tok.kind == "sigreturn":
+            self.next()
+            self.expect(";")
+            return ast.SigReturn(tok.line)
+        if tok.kind == "spawn":
+            self.next()
+            self.expect("(")
+            fn = self.parse_expr()
+            self.expect(",")
+            stack = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.Spawn(fn, stack, line=tok.line)
+        return self.parse_expr_statement()
+
+    def parse_decl_stmt(self):
+        line = self.peek().line
+        type_ = self.parse_type()
+        name = self.expect("ident").value
+        array_size = None
+        init = None
+        if self.accept("["):
+            array_size = self.expect("num").value
+            self.expect("]")
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        var = ast.LocalVar(name, type_, array_size, line=line)
+        return ast.DeclStmt(var, init, line=line)
+
+    def parse_expr_statement(self):
+        line = self.peek().line
+        expr = self.parse_expr()
+        tok = self.peek()
+        if tok.kind in _ASSIGN_OPS:
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError(tok.line, "assignment target is not an lvalue")
+            self.next()
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Assign(expr, tok.kind, value, line=line)
+        if tok.kind in ("++", "--"):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError(tok.line, "++/-- target is not an lvalue")
+            self.next()
+            self.expect(";")
+            return ast.IncDec(expr, tok.kind, line=line)
+        self.expect(";")
+        return ast.ExprStmt(expr, line=line)
+
+    def parse_if(self):
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.accept("else"):
+            otherwise = self.parse_statement()
+        return ast.If(cond, then, otherwise, line=line)
+
+    def parse_while(self):
+        line = self.expect("while").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.While(cond, body, line=line)
+
+    def parse_for(self):
+        line = self.expect("for").line
+        self.expect("(")
+        init = None
+        if self.peek().kind != ";":
+            if self.at_type():
+                init = self.parse_decl_stmt()
+            else:
+                init = self.parse_expr_statement()
+        else:
+            self.expect(";")
+        cond = None
+        if self.peek().kind != ";":
+            cond = self.parse_expr()
+        self.expect(";")
+        step = None
+        if self.peek().kind != ")":
+            step = self._parse_for_step()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, line=line)
+
+    def _parse_for_step(self):
+        line = self.peek().line
+        expr = self.parse_expr()
+        tok = self.peek()
+        if tok.kind in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_expr()
+            return ast.Assign(expr, tok.kind, value, line=line)
+        if tok.kind in ("++", "--"):
+            self.next()
+            return ast.IncDec(expr, tok.kind, line=line)
+        return ast.ExprStmt(expr, line=line)
+
+    def parse_switch(self):
+        line = self.expect("switch").line
+        self.expect("(")
+        value = self.parse_expr()
+        self.expect(")")
+        self.expect("{")
+        cases = []
+        default = None
+        while self.peek().kind != "}":
+            if self.accept("case"):
+                case_value = self._signed_num()
+                self.expect(":")
+                statements = []
+                while self.peek().kind not in ("case", "default", "}"):
+                    statements.append(self.parse_statement())
+                cases.append((case_value, ast.Block(statements, line=line)))
+            elif self.accept("default"):
+                self.expect(":")
+                statements = []
+                while self.peek().kind not in ("case", "default", "}"):
+                    statements.append(self.parse_statement())
+                default = ast.Block(statements, line=line)
+            else:
+                raise ParseError(
+                    self.peek().line,
+                    "expected case/default, found %r" % self.peek().value,
+                )
+        self.expect("}")
+        return ast.Switch(value, cases, default, line=line)
+
+    # ----------------------------------------------------------- expressions
+
+    def parse_expr(self, level=0):
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.peek().kind in ops:
+            tok = self.next()
+            right = self.parse_expr(level + 1)
+            left = ast.Binary(tok.kind, left, right, line=tok.line)
+        return left
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.kind in ("-", "!", "~"):
+            self.next()
+            return ast.Unary(tok.kind, self.parse_unary(), line=tok.line)
+        if tok.kind == "&":
+            self.next()
+            name = self.expect("ident").value
+            return ast.AddrOf(name, line=tok.line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.next()
+        if tok.kind == "num":
+            return ast.Num(tok.value, line=tok.line)
+        if tok.kind == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind == "ident":
+            if self.peek().kind == "(":
+                self.next()
+                args = []
+                if self.peek().kind != ")":
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(tok.value, args, line=tok.line)
+            if self.peek().kind == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("]")
+                return ast.Index(
+                    ast.Var(tok.value, line=tok.line), index, line=tok.line
+                )
+            return ast.Var(tok.value, line=tok.line)
+        raise ParseError(tok.line, "unexpected token %r" % (tok.value,))
+
+
+def parse(source):
+    return Parser(source).parse_program()

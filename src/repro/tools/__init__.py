@@ -1,0 +1,6 @@
+"""Command-line tools.
+
+``python -m repro.tools.disasm`` — disassemble a MiniC program's image;
+``python -m repro.tools.run`` — compile and run a MiniC file natively
+and/or under the runtime with a chosen client.
+"""

@@ -1,0 +1,25 @@
+"""The SPEC2000-shaped workload suite.
+
+The paper evaluates on SPEC CPU2000 (excluding the Fortran-90
+benchmarks).  Real SPEC binaries cannot run on RIO-32, so each benchmark
+here is a MiniC kernel *named after* and *shaped like* its SPEC
+namesake: same domain, same code artifacts (loopiness, call density,
+indirect-branch richness, redundant-load density, code reuse), scaled to
+simulator-friendly sizes.  See DESIGN.md for the substitution argument.
+"""
+
+from repro.workloads.spec import (
+    all_benchmarks,
+    benchmark,
+    fp_benchmarks,
+    int_benchmarks,
+    load_benchmark,
+)
+
+__all__ = [
+    "all_benchmarks",
+    "benchmark",
+    "fp_benchmarks",
+    "int_benchmarks",
+    "load_benchmark",
+]

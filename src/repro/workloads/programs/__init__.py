@@ -1,0 +1,6 @@
+"""One module per SPEC2000-shaped benchmark kernel.
+
+Each module exports ``NAME``, ``SUITE`` ("int"/"fp"), ``DESCRIPTION``,
+``source(scale)`` returning MiniC text, and optionally ``RUNS`` for the
+multiple-short-runs benchmarks (gcc, perlbmk).
+"""

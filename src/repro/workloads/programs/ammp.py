@@ -1,0 +1,76 @@
+"""ammp: molecular dynamics.
+
+Pairwise force computation with a cutoff over particle arrays — ammp's
+non-bonded interaction loop.  Carries: O(n²) FP inner loop with an
+early-out branch (the cutoff) and position updates.
+"""
+
+NAME = "ammp"
+SUITE = "fp"
+DESCRIPTION = "pairwise forces with cutoff over particle arrays"
+
+
+def source(scale):
+    return """
+float px[48]; float py[48];
+float fx[48]; float fy[48];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int forces(int n, int cutoff2) {
+    int i; int j;
+    float dx; float dy; float d2; float f;
+    for (i = 0; i < n; i++) { fx[i] = 0; fy[i] = 0; }
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            dx = px[j] - px[i];
+            dy = py[j] - py[i];
+            d2 = dx * dx + dy * dy;
+            if (d2 > cutoff2) { continue; }
+            if (d2 < 4) { d2 = 4; }
+            f = 4096 / d2;
+            fx[i] = fx[i] - dx * f / 64;
+            fy[i] = fy[i] - dy * f / 64;
+            fx[j] = fx[j] + dx * f / 64;
+            fy[j] = fy[j] + dy * f / 64;
+        }
+    }
+    return 0;
+}
+
+int integrate(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        px[i] = px[i] + fx[i] / 256;
+        py[i] = py[i] + fy[i] / 256;
+        if (px[i] > 1000) { px[i] = px[i] - 2000; }
+        if (px[i] < 0 - 1000) { px[i] = px[i] + 2000; }
+        if (py[i] > 1000) { py[i] = py[i] - 2000; }
+        if (py[i] < 0 - 1000) { py[i] = py[i] + 2000; }
+    }
+    return 0;
+}
+
+int main() {
+    int i; int step; int n;
+    float checksum;
+    seed = 8008;
+    n = 48;
+    for (i = 0; i < n; i++) {
+        px[i] = (rng() %% 2000) - 1000;
+        py[i] = (rng() %% 2000) - 1000;
+    }
+    for (step = 0; step < %(steps)d; step++) {
+        forces(n, 250000);
+        integrate(n);
+    }
+    checksum = 0;
+    for (i = 0; i < n; i++) { checksum = checksum + px[i] + py[i]; }
+    print(checksum);
+    return 0;
+}
+""" % {"steps": 10 * scale}

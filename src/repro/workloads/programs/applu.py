@@ -1,0 +1,80 @@
+"""applu: SSOR solver for Navier-Stokes.
+
+Lower and upper triangular sweeps (forward then backward substitution)
+over a 2D grid — applu's characteristic directional dependence.
+Carries: loop-carried dependences and two differently-ordered sweeps.
+"""
+
+NAME = "applu"
+SUITE = "fp"
+DESCRIPTION = "SSOR: forward and backward triangular sweeps"
+
+
+def source(scale):
+    return """
+float g[700];
+float rsd[700];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int lower_sweep(int w, int h) {
+    int i; int j; int c;
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            c = i * w + j;
+            g[c] = g[c] + (g[c - 1] + g[c - w] - g[c] * 2) / 4 + rsd[c] / 8;
+        }
+    }
+    return 0;
+}
+
+int upper_sweep(int w, int h) {
+    int i; int j; int c;
+    for (i = h - 2; i > 0; i--) {
+        for (j = w - 2; j > 0; j--) {
+            c = i * w + j;
+            g[c] = g[c] + (g[c + 1] + g[c + w] - g[c] * 2) / 4;
+        }
+    }
+    return 0;
+}
+
+float residual(int w, int h) {
+    int i; int j; int c;
+    float r;
+    r = 0;
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            c = i * w + j;
+            rsd[c] = g[c - 1] + g[c + 1] + g[c - w] + g[c + w] - g[c] * 4;
+            r = r + rsd[c];
+        }
+    }
+    return r;
+}
+
+int main() {
+    int i; int iter;
+    float checksum;
+    int w; int h;
+    seed = 4004;
+    w = 26; h = 26;
+    for (i = 0; i < w * h; i++) {
+        g[i] = (rng() %% 120) - 60;
+        rsd[i] = (rng() %% 30) - 15;
+    }
+    for (iter = 0; iter < %(iters)d; iter++) {
+        lower_sweep(w, h);
+        upper_sweep(w, h);
+        residual(w, h);
+    }
+    checksum = 0;
+    for (i = 0; i < w * h; i++) { checksum = checksum + g[i]; }
+    print(checksum);
+    return 0;
+}
+""" % {"iters": 6 * scale}

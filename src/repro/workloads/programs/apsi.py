@@ -1,0 +1,94 @@
+"""apsi: mesoscale weather model.
+
+Several distinct physics passes per timestep (advection, vertical
+diffusion, a pollutant source, and a column reduction) over a 2D field
+— apsi's multi-phase structure.  Carries: several medium-hot loops
+rather than one dominant kernel.
+"""
+
+NAME = "apsi"
+SUITE = "fp"
+DESCRIPTION = "weather model: advection + diffusion + sources per step"
+
+
+def source(scale):
+    return """
+float conc[648];
+float wind_u[648];
+float tmp[648];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int advect(int w, int h) {
+    int i; int j; int c;
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            c = i * w + j;
+            if (wind_u[c] > 0) {
+                tmp[c] = conc[c] - wind_u[c] * (conc[c] - conc[c - 1]) / 64;
+            } else {
+                tmp[c] = conc[c] - wind_u[c] * (conc[c + 1] - conc[c]) / 64;
+            }
+        }
+    }
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            conc[i * w + j] = tmp[i * w + j];
+        }
+    }
+    return 0;
+}
+
+int diffuse(int w, int h) {
+    int i; int j; int c;
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            c = i * w + j;
+            conc[c] = conc[c] + (conc[c - w] + conc[c + w] - conc[c] * 2) / 16;
+        }
+    }
+    return 0;
+}
+
+int emit_sources(int w, int h, int step) {
+    int k; int c;
+    for (k = 0; k < 6; k++) {
+        c = ((k * 97 + step) %% (w * h - 2 * w)) + w;
+        conc[c] = conc[c] + 500;
+    }
+    return 0;
+}
+
+float column_total(int w, int h, int j) {
+    int i;
+    float sum;
+    sum = 0;
+    for (i = 0; i < h; i++) { sum = sum + conc[i * w + j]; }
+    return sum;
+}
+
+int main() {
+    int i; int step;
+    float checksum;
+    int w; int h;
+    seed = 1010;
+    w = 27; h = 24;
+    for (i = 0; i < w * h; i++) {
+        conc[i] = rng() %% 100;
+        wind_u[i] = (rng() %% 17) - 8;
+    }
+    checksum = 0;
+    for (step = 0; step < %(steps)d; step++) {
+        emit_sources(w, h, step);
+        advect(w, h);
+        diffuse(w, h);
+        checksum = checksum + column_total(w, h, step %% w) / 64;
+    }
+    print(checksum);
+    return 0;
+}
+""" % {"steps": 10 * scale}

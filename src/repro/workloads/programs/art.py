@@ -1,0 +1,76 @@
+"""art: adaptive resonance theory neural network.
+
+F1→F2 weighted sums, winner-take-all search, and weight update — the
+image-recognition loop of art.  Carries: dense multiply-accumulate over
+weight matrices with a data-dependent winner scan.
+"""
+
+NAME = "art"
+SUITE = "fp"
+DESCRIPTION = "neural network: weighted sums + winner-take-all + update"
+
+
+def source(scale):
+    return """
+float weights[640];
+float input_vec[64];
+float activation[10];
+int winner_count[10];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int forward() {
+    int f2; int i;
+    float sum;
+    for (f2 = 0; f2 < 10; f2++) {
+        sum = 0;
+        for (i = 0; i < 64; i++) {
+            sum = sum + weights[f2 * 64 + i] * input_vec[i];
+        }
+        activation[f2] = sum / 64;
+    }
+    return 0;
+}
+
+int find_winner() {
+    int f2; int best;
+    best = 0;
+    for (f2 = 1; f2 < 10; f2++) {
+        if (activation[f2] > activation[best]) { best = f2; }
+    }
+    return best;
+}
+
+int learn(int winner) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        weights[winner * 64 + i] =
+            (weights[winner * 64 + i] * 3 + input_vec[i]) / 4;
+    }
+    return 0;
+}
+
+int main() {
+    int i; int sample; int w; int total;
+    seed = 6006;
+    for (i = 0; i < 640; i++) { weights[i] = rng() %% 32; }
+    total = 0;
+    for (sample = 0; sample < %(samples)d; sample++) {
+        for (i = 0; i < 64; i++) {
+            input_vec[i] = ((rng() + sample * 37) %% 64);
+        }
+        forward();
+        w = find_winner();
+        winner_count[w]++;
+        learn(w);
+        total = total + w;
+    }
+    print(total);
+    print(winner_count[0] + winner_count[9] * 10);
+    return 0;
+}
+""" % {"samples": 20 * scale}

@@ -1,0 +1,85 @@
+"""bzip2: block-sorting compression.
+
+Counting sort over a byte block, move-to-front encoding, and run-length
+counting — bzip2's pipeline in miniature.  Carries: byte loads/stores,
+table-walking inner loops, data-dependent short loops.
+"""
+
+NAME = "bzip2"
+SUITE = "int"
+DESCRIPTION = "counting sort + move-to-front + RLE over byte blocks"
+
+
+def source(scale):
+    return """
+int block[2048];
+int sorted_block[2048];
+int counts[256];
+int mtf_table[256];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int counting_sort(int len) {
+    int i; int c; int pos;
+    for (i = 0; i < 256; i++) { counts[i] = 0; }
+    for (i = 0; i < len; i++) { counts[block[i]]++; }
+    pos = 0;
+    for (c = 0; c < 256; c++) {
+        for (i = 0; i < counts[c]; i++) {
+            sorted_block[pos] = c;
+            pos++;
+        }
+    }
+    return pos;
+}
+
+int mtf_encode(int len) {
+    int i; int c; int j; int idx; int total;
+    for (i = 0; i < 256; i++) { mtf_table[i] = i; }
+    total = 0;
+    for (i = 0; i < len; i++) {
+        c = block[i];
+        idx = 0;
+        while (mtf_table[idx] != c) { idx++; }
+        for (j = idx; j > 0; j--) { mtf_table[j] = mtf_table[j - 1]; }
+        mtf_table[0] = c;
+        total = total + idx;
+    }
+    return total;
+}
+
+int rle_count(int len) {
+    int i; int runs; int current; int runlen;
+    runs = 0;
+    current = 0 - 1;
+    runlen = 0;
+    for (i = 0; i < len; i++) {
+        if (sorted_block[i] == current) { runlen++; }
+        else {
+            if (runlen > 3) { runs++; }
+            current = sorted_block[i];
+            runlen = 1;
+        }
+    }
+    return runs;
+}
+
+int main() {
+    int round; int i; int total; int len;
+    seed = 8192;
+    len = 600;
+    total = 0;
+    for (round = 0; round < %(rounds)d; round++) {
+        for (i = 0; i < len; i++) { block[i] = rng() & 63; }
+        total = total + counting_sort(len);
+        total = total + (mtf_encode(len) & 1023);
+        total = total + rle_count(len);
+    }
+    print(total);
+    return 0;
+}
+""" % {"rounds": 1 * scale}

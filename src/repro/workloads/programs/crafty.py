@@ -1,0 +1,85 @@
+"""crafty: chess bitboard kernel.
+
+Bitboard move generation and evaluation: shifts, masks, popcounts —
+crafty's signature 64-bit (here 2x32-bit) bit manipulation.  The
+Table 1 "crafty" column.  Carries: long dependent ALU chains, loop-heavy
+popcount, moderate branching.
+"""
+
+NAME = "crafty"
+SUITE = "int"
+DESCRIPTION = "bitboard move generation: shifts, masks, popcounts"
+
+
+def source(scale):
+    return """
+int board_lo[32];
+int board_hi[32];
+int score_table[64];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int popcount(int x) {
+    int n;
+    n = 0;
+    while (x != 0) {
+        n = n + (x & 1);
+        x = x >> 1;
+    }
+    return n;
+}
+
+int knight_moves(int lo, int hi) {
+    int m;
+    m = (lo << 2) ^ (hi >> 2);
+    m = m | ((lo >> 6) & (hi << 6));
+    m = m ^ ((lo << 10) | (hi >> 10));
+    return m;
+}
+
+int evaluate(int idx) {
+    int lo; int hi; int moves; int s;
+    lo = board_lo[idx];
+    hi = board_hi[idx];
+    moves = knight_moves(lo, hi);
+    s = popcount(moves & 0x55555555) * 3;
+    s = s + popcount(moves & 0x33333333) * 2;
+    s = s + popcount(lo & hi);
+    s = s + score_table[moves & 63];
+    return s;
+}
+
+int search(int depth, int idx) {
+    int best; int move; int s;
+    if (depth == 0) { return evaluate(idx); }
+    best = 0 - 100000;
+    for (move = 0; move < 4; move++) {
+        board_lo[idx] = board_lo[idx] ^ (1 << ((move * 7 + depth) & 31));
+        s = 0 - search(depth - 1, (idx + move + 1) & 31);
+        board_lo[idx] = board_lo[idx] ^ (1 << ((move * 7 + depth) & 31));
+        if (s > best) { best = s; }
+    }
+    return best;
+}
+
+int main() {
+    int i; int total; int game;
+    seed = 2718;
+    for (i = 0; i < 32; i++) {
+        board_lo[i] = rng() * rng();
+        board_hi[i] = rng() * rng();
+    }
+    for (i = 0; i < 64; i++) { score_table[i] = (rng() %% 21) - 10; }
+    total = 0;
+    for (game = 0; game < %(games)d; game++) {
+        total = total + search(3, game & 31);
+        board_hi[game & 31] = board_hi[game & 31] + game;
+    }
+    print(total);
+    return 0;
+}
+""" % {"games": 5 * scale}

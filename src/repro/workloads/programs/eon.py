@@ -1,0 +1,70 @@
+"""eon: probabilistic ray tracing kernel (SPEC's only C++ benchmark).
+
+Fixed-point ray-sphere intersection with per-ray function calls and
+vector math.  Carries: call-heavy numeric code mixing int control flow
+with float arithmetic.
+"""
+
+NAME = "eon"
+SUITE = "int"
+DESCRIPTION = "fixed-point ray/sphere intersections, call-heavy"
+
+
+def source(scale):
+    return """
+float cx[24]; float cy[24]; float cz[24]; float rr[24];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+float dot3(float ax, float ay, float az, float bx, float by, float bz) {
+    return ax * bx + ay * by + az * bz;
+}
+
+int hits_sphere(int s, float ox, float oy, float oz,
+                float dx, float dy, float dz) {
+    float mx; float my; float mz; float b; float c;
+    mx = cx[s] - ox;
+    my = cy[s] - oy;
+    mz = cz[s] - oz;
+    b = dot3(mx, my, mz, dx, dy, dz);
+    c = dot3(mx, my, mz, mx, my, mz) - rr[s];
+    if (b < 0) { return 0; }
+    if (b * b >= c) { return 1; }
+    return 0;
+}
+
+int trace_ray(float ox, float oy, float oz, float dx, float dy, float dz) {
+    int s; int hits;
+    hits = 0;
+    for (s = 0; s < 24; s++) {
+        hits = hits + hits_sphere(s, ox, oy, oz, dx, dy, dz);
+    }
+    return hits;
+}
+
+int main() {
+    int s; int ray; int total;
+    float ox; float oy; float oz; float dx; float dy; float dz;
+    seed = 31337;
+    for (s = 0; s < 24; s++) {
+        cx[s] = (rng() %% 200) - 100;
+        cy[s] = (rng() %% 200) - 100;
+        cz[s] = (rng() %% 200) - 100;
+        rr[s] = (rng() %% 40) + 10;
+    }
+    total = 0;
+    for (ray = 0; ray < %(rays)d; ray++) {
+        ox = 0; oy = 0; oz = 0;
+        dx = (rng() %% 19) - 9;
+        dy = (rng() %% 19) - 9;
+        dz = (rng() %% 19) - 9;
+        total = total + trace_ray(ox, oy, oz, dx, dy, dz);
+    }
+    print(total);
+    return 0;
+}
+""" % {"rays": 90 * scale}

@@ -1,0 +1,71 @@
+"""equake: seismic wave simulation.
+
+Sparse matrix-vector products in CSR form (row-pointer + column-index
+arrays) — equake's unstructured-mesh kernel.  Carries: indirect indexed
+loads (gather) inside FP accumulation loops.
+"""
+
+NAME = "equake"
+SUITE = "fp"
+DESCRIPTION = "CSR sparse matrix-vector products (gather-heavy)"
+
+
+def source(scale):
+    return """
+int rowptr[81];
+int colidx[640];
+float vals[640];
+float x[80];
+float y[80];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int spmv(int nrows) {
+    int r; int k; int lo; int hi;
+    float sum;
+    for (r = 0; r < nrows; r++) {
+        sum = 0;
+        lo = rowptr[r];
+        hi = rowptr[r + 1];
+        for (k = lo; k < hi; k++) {
+            sum = sum + vals[k] * x[colidx[k]];
+        }
+        y[r] = sum;
+    }
+    return 0;
+}
+
+int main() {
+    int i; int r; int step; int nnz; int nrows;
+    float checksum;
+    seed = 7007;
+    nrows = 80;
+    nnz = 0;
+    for (r = 0; r < nrows; r++) {
+        rowptr[r] = nnz;
+        for (i = 0; i < 8; i++) {
+            colidx[nnz] = rng() %% nrows;
+            vals[nnz] = (rng() %% 11) - 5;
+            nnz++;
+        }
+    }
+    rowptr[nrows] = nnz;
+    for (i = 0; i < nrows; i++) { x[i] = (rng() %% 50) - 25; }
+    for (step = 0; step < %(steps)d; step++) {
+        spmv(nrows);
+        for (i = 0; i < nrows; i++) {
+            x[i] = x[i] + y[i] / 16;
+            if (x[i] > 100000) { x[i] = x[i] / 2; }
+            if (x[i] < 0 - 100000) { x[i] = x[i] / 2; }
+        }
+    }
+    checksum = 0;
+    for (i = 0; i < nrows; i++) { checksum = checksum + x[i]; }
+    print(checksum);
+    return 0;
+}
+""" % {"steps": 26 * scale}

@@ -1,0 +1,83 @@
+"""gap: computational group theory.
+
+Permutation composition, inversion, and orbit computation over small
+arrays — the array-shuffling heart of GAP.  Carries: indexed loads
+whose address depends on a just-loaded value (serial dependence).
+"""
+
+NAME = "gap"
+SUITE = "int"
+DESCRIPTION = "permutation algebra: compose, invert, orbits"
+
+
+def source(scale):
+    return """
+int perm_a[64];
+int perm_b[64];
+int perm_c[64];
+int inv[64];
+int orbit_seen[64];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int compose(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        perm_c[i] = perm_a[perm_b[i]];
+    }
+    return perm_c[0];
+}
+
+int invert(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        inv[perm_c[i]] = i;
+    }
+    return inv[0];
+}
+
+int orbit_size(int start, int n) {
+    int count; int x;
+    for (x = 0; x < n; x++) { orbit_seen[x] = 0; }
+    count = 0;
+    x = start;
+    while (orbit_seen[x] == 0) {
+        orbit_seen[x] = 1;
+        count++;
+        x = perm_c[x];
+    }
+    return count;
+}
+
+int shuffle(int n) {
+    int i; int j; int t;
+    for (i = n - 1; i > 0; i--) {
+        j = rng() %% (i + 1);
+        t = perm_a[i]; perm_a[i] = perm_a[j]; perm_a[j] = t;
+    }
+    return perm_a[0];
+}
+
+int main() {
+    int i; int round; int total; int n;
+    seed = 4096;
+    n = 64;
+    for (i = 0; i < n; i++) { perm_a[i] = i; perm_b[i] = (i * 7 + 3) %% n; }
+    total = 0;
+    for (round = 0; round < %(rounds)d; round++) {
+        shuffle(n);
+        compose(n);
+        invert(n);
+        for (i = 0; i < n; i = i + 8) {
+            total = total + orbit_size(i, n);
+        }
+        for (i = 0; i < n; i++) { perm_b[i] = inv[i]; }
+    }
+    print(total);
+    return 0;
+}
+""" % {"rounds": 24 * scale}

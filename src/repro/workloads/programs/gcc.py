@@ -1,0 +1,149 @@
+"""gcc: a compiler-shaped workload.
+
+Many distinct phases (lex, parse, fold, dead-code elimination, register
+assignment, emission), each touching its own code, run only a couple of
+times over a small input.  Carries the paper's gcc property: *multiple
+short runs with little code re-use*, so building blocks and traces is
+hard to amortize and optimization clients can lose.
+"""
+
+NAME = "gcc"
+SUITE = "int"
+DESCRIPTION = "multi-phase toy compiler pipeline; little code reuse"
+
+
+def source(scale):
+    return """
+int src[512];
+int toks[512];
+int vals[512];
+int ntoks;
+int tree_op[256];
+int tree_l[256];
+int tree_r[256];
+int tree_val[256];
+int nnodes;
+int regs_used;
+int emitted;
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int lex(int len) {
+    int i; int c; int n;
+    n = 0;
+    for (i = 0; i < len; i++) {
+        c = src[i];
+        if (c < 10) { toks[n] = 1; vals[n] = c; n++; }
+        else if (c < 14) { toks[n] = 2; vals[n] = c - 10; n++; }
+        else if (c < 15) { toks[n] = 3; vals[n] = 0; n++; }
+    }
+    ntoks = n;
+    return n;
+}
+
+int newnode(int op, int l, int r, int v) {
+    tree_op[nnodes] = op;
+    tree_l[nnodes] = l;
+    tree_r[nnodes] = r;
+    tree_val[nnodes] = v;
+    nnodes++;
+    return nnodes - 1;
+}
+
+int parse_pairs() {
+    int i; int left; int right;
+    nnodes = 0;
+    left = newnode(0, 0 - 1, 0 - 1, vals[0]);
+    i = 1;
+    while (i + 1 < ntoks && nnodes < 250) {
+        right = newnode(0, 0 - 1, 0 - 1, vals[i + 1]);
+        left = newnode(toks[i] + 9, left, right, 0);
+        i = i + 2;
+    }
+    return left;
+}
+
+int fold(int node) {
+    int op; int l; int r;
+    op = tree_op[node];
+    if (op == 0) { return tree_val[node]; }
+    l = fold(tree_l[node]);
+    r = fold(tree_r[node]);
+    switch (op - 9) {
+        case 1: return l + r;
+        case 2: return l - r;
+        case 3: return l ^ r;
+        case 4: return l & r;
+        default: return l;
+    }
+}
+
+int dce(int root) {
+    int i; int live; int changed;
+    live = 0;
+    for (i = 0; i < nnodes; i++) { tree_val[i] = tree_val[i] & 65535; }
+    for (i = nnodes - 1; i >= 0; i--) {
+        if (tree_op[i] != 0 || i == root) { live++; }
+    }
+    return live;
+}
+
+int assign_regs() {
+    int i; int next;
+    next = 0;
+    for (i = 0; i < nnodes; i++) {
+        if (tree_op[i] != 0) {
+            next = next + 1;
+            if (next > 6) { next = 1; }
+        }
+    }
+    regs_used = next;
+    return next;
+}
+
+int emit(int root) {
+    int i; int count;
+    count = 0;
+    for (i = 0; i < nnodes; i++) {
+        if (tree_op[i] == 0) { count = count + 1; }
+        else { count = count + 2; }
+    }
+    emitted = emitted + count;
+    return count;
+}
+
+int compile_unit(int len) {
+    int root; int result;
+    lex(len);
+    root = parse_pairs();
+    result = fold(root);
+    result = result + dce(root);
+    result = result + assign_regs();
+    result = result + emit(root);
+    return result;
+}
+
+int main() {
+    int unit; int total; int i; int len;
+    seed = 1234;
+    total = 0;
+    emitted = 0;
+    for (unit = 0; unit < %(units)d; unit++) {
+        len = 60 + (unit %% 5) * 40;
+        for (i = 0; i < len; i++) { src[i] = rng() %% 16; }
+        total = total + compile_unit(len);
+    }
+    print(total);
+    print(emitted);
+    return 0;
+}
+""" % {"units": 4 * scale}
+
+# SPEC invokes gcc several times on different inputs; each run starts
+# with cold caches (the paper: "multiple short runs with little code
+# re-use").
+RUNS = 4

@@ -1,0 +1,81 @@
+"""gzip: LZ77-style compression kernel.
+
+Byte-level scanning with a hash chain, like the real gzip deflate inner
+loop.  Carries: tight byte loads (``movzx``), ``movb`` stores, short
+match loops, and data-dependent branches.
+"""
+
+NAME = "gzip"
+SUITE = "int"
+DESCRIPTION = "LZ77 hash-chain compression over a pseudo-random buffer"
+
+
+def source(scale):
+    return """
+int buf[4096];
+int hashtab[256];
+int out_len;
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int hash3(int i) {
+    int h;
+    h = buf[i] * 31 + buf[i + 1];
+    h = h * 31 + buf[i + 2];
+    return h & 255;
+}
+
+int match_length(int a, int b, int limit) {
+    int n;
+    n = 0;
+    while (n < limit) {
+        if (buf[a + n] != buf[b + n]) { return n; }
+        n++;
+    }
+    return n;
+}
+
+int compress(int len) {
+    int i; int h; int cand; int m; int emitted;
+    emitted = 0;
+    for (i = 0; i < 256; i++) { hashtab[i] = 0 - 1; }
+    i = 0;
+    while (i < len - 3) {
+        h = hash3(i);
+        cand = hashtab[h];
+        hashtab[h] = i;
+        if (cand >= 0 && cand < i) {
+            m = match_length(cand, i, 16);
+            if (m >= 3) {
+                emitted = emitted + 2;
+                i = i + m;
+                continue;
+            }
+        }
+        emitted++;
+        i++;
+    }
+    return emitted;
+}
+
+int main() {
+    int round; int total; int i; int len;
+    seed = 42;
+    len = 1200;
+    total = 0;
+    for (i = 0; i < len; i++) {
+        buf[i] = rng() & 63;
+        if ((i & 7) < 3) { buf[i] = buf[i] & 3; }
+    }
+    for (round = 0; round < %(rounds)d; round++) {
+        total = total + compress(len);
+        buf[round & 1023] = round & 255;
+    }
+    print(total);
+    return 0;
+}
+""" % {"rounds": 3 * scale}

@@ -1,0 +1,68 @@
+"""mcf: minimum-cost network flow.
+
+Bellman-Ford-style arc relaxation over an array-encoded graph — the
+pointer-chasing, memory-bound access pattern of the real mcf.  Carries:
+indirection through index arrays, unpredictable branches, few calls.
+"""
+
+NAME = "mcf"
+SUITE = "int"
+DESCRIPTION = "network-simplex-flavored arc relaxation over index arrays"
+
+
+def source(scale):
+    return """
+int tail[900];
+int head[900];
+int cost[900];
+int dist[160];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int relax_all(int narcs) {
+    int a; int changed; int t; int h; int nd;
+    changed = 0;
+    for (a = 0; a < narcs; a++) {
+        t = tail[a];
+        h = head[a];
+        nd = dist[t] + cost[a];
+        if (nd < dist[h]) {
+            dist[h] = nd;
+            changed++;
+        }
+    }
+    return changed;
+}
+
+int main() {
+    int i; int round; int total; int narcs; int nodes;
+    seed = 99;
+    nodes = 160;
+    narcs = 900;
+    for (i = 0; i < narcs; i++) {
+        tail[i] = rng() %% nodes;
+        head[i] = rng() %% nodes;
+        cost[i] = (rng() %% 50) + 1;
+    }
+    total = 0;
+    for (round = 0; round < %(rounds)d; round++) {
+        for (i = 1; i < nodes; i++) { dist[i] = 1000000; }
+        dist[0] = 0;
+        i = 0;
+        while (i < 24) {
+            if (relax_all(narcs) == 0) { break; }
+            i++;
+        }
+        for (i = 0; i < nodes; i++) {
+            if (dist[i] < 1000000) { total = total + dist[i]; }
+        }
+        cost[round %% narcs] = (cost[round %% narcs] + 3) %% 50 + 1;
+    }
+    print(total);
+    return 0;
+}
+""" % {"rounds": 3 * scale}

@@ -1,0 +1,77 @@
+"""mesa: 3D graphics library.
+
+A vertex-transform pipeline: 4x4 matrix times vertex positions, a
+perspective-ish scale, and a viewport clip test, with a per-vertex
+function call — mesa's geometry stage.  Carries: FP call-heavy loops
+mixed with branchy clipping.
+"""
+
+NAME = "mesa"
+SUITE = "fp"
+DESCRIPTION = "vertex pipeline: matrix transform + clip + viewport"
+
+
+def source(scale):
+    return """
+float mat[16];
+float vx[128]; float vy[128]; float vz[128];
+float ox[128]; float oy[128]; float oz[128];
+int clipped;
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int transform_vertex(int i) {
+    float x; float y; float z; float w;
+    x = vx[i]; y = vy[i]; z = vz[i];
+    ox[i] = (mat[0] * x + mat[1] * y + mat[2] * z + mat[3]) / 16;
+    oy[i] = (mat[4] * x + mat[5] * y + mat[6] * z + mat[7]) / 16;
+    oz[i] = (mat[8] * x + mat[9] * y + mat[10] * z + mat[11]) / 16;
+    w = (mat[12] * x + mat[13] * y + mat[14] * z + mat[15]) / 16;
+    if (w < 1) { w = 1; }
+    ox[i] = ox[i] / w;
+    oy[i] = oy[i] / w;
+    return 0;
+}
+
+int clip_vertex(int i) {
+    if (ox[i] > 320) { return 1; }
+    if (ox[i] < 0 - 320) { return 1; }
+    if (oy[i] > 240) { return 1; }
+    if (oy[i] < 0 - 240) { return 1; }
+    return 0;
+}
+
+int draw_frame(int nverts) {
+    int i; int visible;
+    visible = 0;
+    for (i = 0; i < nverts; i++) {
+        transform_vertex(i);
+        if (clip_vertex(i) == 0) { visible++; }
+    }
+    return visible;
+}
+
+int main() {
+    int i; int frame; int total;
+    seed = 5005;
+    for (i = 0; i < 16; i++) { mat[i] = (rng() %% 9) - 4; }
+    mat[0] = 16; mat[5] = 16; mat[10] = 16; mat[15] = 16;
+    for (i = 0; i < 128; i++) {
+        vx[i] = (rng() %% 400) - 200;
+        vy[i] = (rng() %% 400) - 200;
+        vz[i] = (rng() %% 100) + 1;
+    }
+    total = 0;
+    for (frame = 0; frame < %(frames)d; frame++) {
+        mat[3] = frame %% 32;
+        mat[7] = (frame * 3) %% 32;
+        total = total + draw_frame(128);
+    }
+    print(total);
+    return 0;
+}
+""" % {"frames": 12 * scale}

@@ -1,0 +1,90 @@
+"""mgrid: multigrid Poisson solver.
+
+Relaxation with a dense 9-point stencil plus restriction/prolongation
+between two grid levels.  The paper's best RLR case (-40%): the stencil
+reloads the same neighbors across consecutive statements, and the
+multi-level structure keeps several hot loops live at once.
+"""
+
+NAME = "mgrid"
+SUITE = "fp"
+DESCRIPTION = "two-level multigrid: 9-point relaxation + transfer operators"
+
+
+def source(scale):
+    return """
+float fine[700];
+float coarse[200];
+float rhs[700];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int relax(int w, int h) {
+    int i; int j; int c;
+    float center; float ring; float corners;
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            c = i * w + j;
+            center = fine[c] * 4;
+            ring = fine[c - 1] + fine[c + 1] + fine[c - w] + fine[c + w];
+            corners = fine[c - w - 1] + fine[c - w + 1] + fine[c + w - 1] + fine[c + w + 1];
+            fine[c] = (center + ring * 2 + corners + rhs[c]) / 16;
+        }
+    }
+    return 0;
+}
+
+int restrict_grid(int w, int h, int cw) {
+    int i; int j; int c; int f;
+    for (i = 1; i < h / 2 - 1; i++) {
+        for (j = 1; j < w / 2 - 1; j++) {
+            c = i * cw + j;
+            f = (i * 2) * w + (j * 2);
+            coarse[c] = (fine[f] * 4 + fine[f - 1] + fine[f + 1]
+                         + fine[f - w] + fine[f + w]) / 8;
+        }
+    }
+    return 0;
+}
+
+int prolong(int w, int h, int cw) {
+    int i; int j; int c; int f;
+    for (i = 1; i < h / 2 - 1; i++) {
+        for (j = 1; j < w / 2 - 1; j++) {
+            c = i * cw + j;
+            f = (i * 2) * w + (j * 2);
+            fine[f] = fine[f] + coarse[c] / 2;
+            fine[f + 1] = fine[f + 1] + coarse[c] / 4;
+            fine[f + w] = fine[f + w] + coarse[c] / 4;
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int i; int cycle;
+    float checksum;
+    int w; int h; int cw;
+    seed = 3003;
+    w = 26; h = 26; cw = 13;
+    for (i = 0; i < w * h; i++) {
+        fine[i] = (rng() %% 100) - 50;
+        rhs[i] = (rng() %% 40) - 20;
+    }
+    for (cycle = 0; cycle < %(cycles)d; cycle++) {
+        relax(w, h);
+        relax(w, h);
+        restrict_grid(w, h, cw);
+        prolong(w, h, cw);
+        relax(w, h);
+    }
+    checksum = 0;
+    for (i = 0; i < w * h; i++) { checksum = checksum + fine[i]; }
+    print(checksum);
+    return 0;
+}
+""" % {"cycles": 4 * scale}

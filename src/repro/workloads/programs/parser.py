@@ -1,0 +1,90 @@
+"""parser: link-grammar-flavored tokenizer + state machine.
+
+A character-class scanner driven by a dense ``switch`` (compiled to a
+jump table — an indirect jump per character) plus a small dictionary
+lookup.  Carries: indirect-branch-rich inner loop with a skewed target
+distribution — prime material for the Section 4.3 dispatch client.
+"""
+
+NAME = "parser"
+SUITE = "int"
+DESCRIPTION = "state-machine tokenizer with switch jump tables"
+
+
+def source(scale):
+    return """
+int text[2048];
+int dict_hash[64];
+int words; int numbers; int puncts; int errors;
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int classify(int c) {
+    if (c < 26) { return 0; }      /* letter */
+    if (c < 36) { return 1; }      /* digit */
+    if (c < 40) { return 2; }      /* space */
+    if (c < 44) { return 3; }      /* punct */
+    return 4;                      /* junk */
+}
+
+int lookup(int h) {
+    return dict_hash[h & 63];
+}
+
+int scan(int len) {
+    int i; int state; int c; int kind; int h; int found;
+    state = 0;
+    h = 0;
+    found = 0;
+    for (i = 0; i < len; i++) {
+        c = text[i];
+        kind = classify(c);
+        switch (state * 5 + kind) {
+            case 0: state = 1; h = c; break;          /* start letter */
+            case 1: state = 2; h = c; break;          /* start digit */
+            case 2: break;                            /* skip space */
+            case 3: puncts++; break;
+            case 4: errors++; break;
+            case 5: h = h * 31 + c; break;            /* in word */
+            case 6: state = 3; break;                 /* word+digit: id */
+            case 7: words++; found = found + lookup(h); state = 0; break;
+            case 8: words++; puncts++; state = 0; break;
+            case 9: errors++; state = 0; break;
+            case 10: state = 3; break;                /* digit then letter */
+            case 11: h = h * 10 + c; break;           /* in number */
+            case 12: numbers++; state = 0; break;
+            case 13: numbers++; puncts++; state = 0; break;
+            case 14: errors++; state = 0; break;
+            case 15: h = h + c; break;                /* in identifier */
+            case 16: h = h + c; break;
+            case 17: words++; state = 0; break;
+            case 18: words++; puncts++; state = 0; break;
+            default: errors++; state = 0;
+        }
+    }
+    return found;
+}
+
+int main() {
+    int i; int round; int total; int len;
+    seed = 5150;
+    len = 1600;
+    for (i = 0; i < 64; i++) { dict_hash[i] = rng() & 15; }
+    for (i = 0; i < len; i++) {
+        text[i] = rng() %% 46;
+    }
+    total = 0;
+    words = 0; numbers = 0; puncts = 0; errors = 0;
+    for (round = 0; round < %(rounds)d; round++) {
+        total = total + scan(len);
+        text[round %% len] = rng() %% 46;
+    }
+    print(total);
+    print(words + numbers * 2 + puncts * 3 + errors * 5);
+    return 0;
+}
+""" % {"rounds": 4 * scale}

@@ -1,0 +1,79 @@
+"""perlbmk: bytecode interpreter running several short scripts.
+
+A dispatch-table interpreter (indirect call per opcode) executes a
+handful of *different* generated scripts, each only once — the paper's
+perlbmk property: short phases with little code re-use, where
+optimization time is never amortized.
+"""
+
+NAME = "perlbmk"
+SUITE = "int"
+DESCRIPTION = "bytecode interpreter over many distinct short scripts"
+
+
+def source(scale):
+    return """
+int prog_op[512];
+int prog_arg[512];
+int stack[64];
+int sp;
+int mem[32];
+int handlers[8];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int op_push(int a) { stack[sp] = a; sp++; return 0; }
+int op_add(int a) { sp--; stack[sp - 1] = stack[sp - 1] + stack[sp]; return 0; }
+int op_xor(int a) { sp--; stack[sp - 1] = stack[sp - 1] ^ stack[sp]; return 0; }
+int op_store(int a) { sp--; mem[a & 31] = stack[sp]; return 0; }
+int op_load(int a) { stack[sp] = mem[a & 31]; sp++; return 0; }
+int op_dup(int a) { stack[sp] = stack[sp - 1]; sp++; return 0; }
+int op_shift(int a) { stack[sp - 1] = stack[sp - 1] << (a & 7); return 0; }
+int op_neg(int a) { stack[sp - 1] = 0 - stack[sp - 1]; return 0; }
+
+int run_script(int len) {
+    int pc; int f;
+    sp = 1;
+    stack[0] = 0;
+    for (pc = 0; pc < len; pc++) {
+        if (sp < 1) { sp = 1; }
+        if (sp > 60) { sp = 60; }
+        f = handlers[prog_op[pc]];
+        f(prog_arg[pc]);
+    }
+    return stack[sp - 1];
+}
+
+int main() {
+    int script; int i; int total; int len;
+    seed = 777;
+    handlers[0] = &op_push;
+    handlers[1] = &op_add;
+    handlers[2] = &op_xor;
+    handlers[3] = &op_store;
+    handlers[4] = &op_load;
+    handlers[5] = &op_dup;
+    handlers[6] = &op_shift;
+    handlers[7] = &op_neg;
+    total = 0;
+    for (script = 0; script < %(scripts)d; script++) {
+        len = 120 + (script %% 7) * 40;
+        for (i = 0; i < len; i++) {
+            prog_op[i] = rng() & 7;
+            prog_arg[i] = rng() & 255;
+        }
+        total = total + run_script(len);
+        total = total & 0xFFFFFF;
+    }
+    print(total);
+    return 0;
+}
+""" % {"scripts": 14 * scale}
+
+# Like gcc: SPEC runs perl repeatedly on short scripts; every run pays
+# cold-cache costs again.
+RUNS = 4

@@ -1,0 +1,64 @@
+"""sixtrack: particle accelerator tracking.
+
+Repeated application of a symplectic transfer map (rotation + kick) to
+a bunch of particles — sixtrack's tracking loop.  Carries: long
+straight-line FP bodies applied in a tight loop (big basic blocks).
+"""
+
+NAME = "sixtrack"
+SUITE = "fp"
+DESCRIPTION = "symplectic map iteration over a particle bunch"
+
+
+def source(scale):
+    return """
+float x[40]; float xp[40];
+float y[40]; float yp[40];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int track_turn(int n) {
+    int i;
+    float nx; float nxp; float ny; float nyp; float kick;
+    for (i = 0; i < n; i++) {
+        nx = (x[i] * 62 - xp[i] * 8) / 64;
+        nxp = (x[i] * 8 + xp[i] * 62) / 64;
+        ny = (y[i] * 60 - yp[i] * 14) / 64;
+        nyp = (y[i] * 14 + yp[i] * 62) / 64;
+        kick = (nx * nx - ny * ny) / 4096;
+        nxp = nxp + kick;
+        nyp = nyp - (nx * ny * 2) / 4096;
+        x[i] = nx; xp[i] = nxp;
+        y[i] = ny; yp[i] = nyp;
+        if (x[i] > 100000) { x[i] = 0; xp[i] = 0; }
+        if (y[i] > 100000) { y[i] = 0; yp[i] = 0; }
+        if (x[i] < 0 - 100000) { x[i] = 0; xp[i] = 0; }
+        if (y[i] < 0 - 100000) { y[i] = 0; yp[i] = 0; }
+    }
+    return 0;
+}
+
+int main() {
+    int i; int turn; int n;
+    float checksum;
+    seed = 9009;
+    n = 40;
+    for (i = 0; i < n; i++) {
+        x[i] = (rng() %% 512) - 256;
+        xp[i] = (rng() %% 64) - 32;
+        y[i] = (rng() %% 512) - 256;
+        yp[i] = (rng() %% 64) - 32;
+    }
+    for (turn = 0; turn < %(turns)d; turn++) {
+        track_turn(n);
+    }
+    checksum = 0;
+    for (i = 0; i < n; i++) { checksum = checksum + x[i] + y[i]; }
+    print(checksum);
+    return 0;
+}
+""" % {"turns": 45 * scale}

@@ -1,0 +1,64 @@
+"""swim: shallow water equations on a 2D grid.
+
+The classic u/v/p stencil sweeps.  Carries: neighboring-cell loads in
+every statement — heavy *cross-statement* redundancy for the RLR
+client, on a grid walked row-major.
+"""
+
+NAME = "swim"
+SUITE = "fp"
+DESCRIPTION = "shallow-water u/v/p stencil sweeps on a 2D grid"
+
+
+def source(scale):
+    return """
+float u[600]; float v[600]; float p[600];
+float unew[600]; float vnew[600]; float pnew[600];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int step(int w, int h) {
+    int i; int j; int c;
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            c = i * w + j;
+            unew[c] = u[c] + (p[c - 1] - p[c + 1]) / 4 + (v[c] - u[c]) / 8;
+            vnew[c] = v[c] + (p[c - w] - p[c + w]) / 4 + (u[c] - v[c]) / 8;
+            pnew[c] = p[c] + (u[c - 1] - u[c + 1] + v[c - w] - v[c + w]) / 4;
+        }
+    }
+    for (i = 1; i < h - 1; i++) {
+        for (j = 1; j < w - 1; j++) {
+            c = i * w + j;
+            u[c] = unew[c];
+            v[c] = vnew[c];
+            p[c] = pnew[c];
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int i; int t;
+    float checksum;
+    int w; int h;
+    seed = 2002;
+    w = 24; h = 25;
+    for (i = 0; i < w * h; i++) {
+        u[i] = (rng() %% 200) - 100;
+        v[i] = (rng() %% 200) - 100;
+        p[i] = (rng() %% 1000);
+    }
+    for (t = 0; t < %(steps)d; t++) {
+        step(w, h);
+    }
+    checksum = 0;
+    for (i = 0; i < w * h; i++) { checksum = checksum + p[i] + u[i] - v[i]; }
+    print(checksum);
+    return 0;
+}
+""" % {"steps": 6 * scale}

@@ -1,0 +1,84 @@
+"""twolf: standard-cell place & route.
+
+Net half-perimeter wirelength evaluation with cell swap moves on a
+row-based layout — like TimberWolf's annealer but with a different cost
+kernel than vpr (per-net bounding boxes rather than per-cell spans).
+"""
+
+NAME = "twolf"
+SUITE = "int"
+DESCRIPTION = "row-based annealing with per-net bounding-box wirelength"
+
+
+def source(scale):
+    return """
+int cell_row[128];
+int cell_col[128];
+int net_first[40];
+int pin_cell[320];
+int pin_next[320];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int net_cost(int n) {
+    int p; int c; int minr; int maxr; int minc; int maxc;
+    minr = 1000; maxr = 0 - 1000; minc = 1000; maxc = 0 - 1000;
+    p = net_first[n];
+    while (p >= 0) {
+        c = pin_cell[p];
+        if (cell_row[c] < minr) { minr = cell_row[c]; }
+        if (cell_row[c] > maxr) { maxr = cell_row[c]; }
+        if (cell_col[c] < minc) { minc = cell_col[c]; }
+        if (cell_col[c] > maxc) { maxc = cell_col[c]; }
+        p = pin_next[p];
+    }
+    return (maxr - minr) + (maxc - minc);
+}
+
+int total_cost() {
+    int n; int sum;
+    sum = 0;
+    for (n = 0; n < 40; n++) { sum = sum + net_cost(n); }
+    return sum;
+}
+
+int main() {
+    int i; int n; int moves; int a; int b; int t; int before; int after;
+    int accepted; int threshold;
+    seed = 60496;
+    for (i = 0; i < 128; i++) {
+        cell_row[i] = rng() %% 8;
+        cell_col[i] = rng() %% 16;
+    }
+    for (n = 0; n < 40; n++) { net_first[n] = 0 - 1; }
+    for (i = 0; i < 320; i++) {
+        n = rng() %% 40;
+        pin_cell[i] = rng() %% 128;
+        pin_next[i] = net_first[n];
+        net_first[n] = i;
+    }
+    accepted = 0;
+    threshold = 24;
+    for (moves = 0; moves < %(moves)d; moves++) {
+        a = rng() %% 128;
+        b = rng() %% 128;
+        before = total_cost();
+        t = cell_row[a]; cell_row[a] = cell_row[b]; cell_row[b] = t;
+        t = cell_col[a]; cell_col[a] = cell_col[b]; cell_col[b] = t;
+        after = total_cost();
+        if (after <= before + threshold) { accepted++; }
+        else {
+            t = cell_row[a]; cell_row[a] = cell_row[b]; cell_row[b] = t;
+            t = cell_col[a]; cell_col[a] = cell_col[b]; cell_col[b] = t;
+        }
+        if ((moves & 15) == 15 && threshold > 2) { threshold = threshold - 1; }
+    }
+    print(accepted);
+    print(total_cost());
+    return 0;
+}
+""" % {"moves": 10 * scale}

@@ -1,0 +1,110 @@
+"""vortex: object-oriented database.
+
+Insert/lookup/delete over a hashed record store with small per-record
+methods — vortex's many-small-calls profile.  Carries: dense call/return
+traffic from varied call sites (the Section 4.4 motivation: return
+inlining misses) and hash-bucket chasing.
+"""
+
+NAME = "vortex"
+SUITE = "int"
+DESCRIPTION = "hashed object store: insert/lookup/delete, many calls"
+
+
+def source(scale):
+    return """
+int rec_key[512];
+int rec_val[512];
+int rec_next[512];
+int buckets[64];
+int free_head;
+int population;
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int hash_key(int k) {
+    return ((k * 2654435761) >> 8) & 63;
+}
+
+int alloc_rec() {
+    int r;
+    r = free_head;
+    if (r >= 0) { free_head = rec_next[r]; }
+    return r;
+}
+
+int free_rec(int r) {
+    rec_next[r] = free_head;
+    free_head = r;
+    return 0;
+}
+
+int insert(int key, int val) {
+    int h; int r;
+    r = alloc_rec();
+    if (r < 0) { return 0 - 1; }
+    h = hash_key(key);
+    rec_key[r] = key;
+    rec_val[r] = val;
+    rec_next[r] = buckets[h];
+    buckets[h] = r;
+    population++;
+    return r;
+}
+
+int find(int key) {
+    int r;
+    r = buckets[hash_key(key)];
+    while (r >= 0) {
+        if (rec_key[r] == key) { return rec_val[r]; }
+        r = rec_next[r];
+    }
+    return 0 - 1;
+}
+
+int remove(int key) {
+    int h; int r; int prev;
+    h = hash_key(key);
+    r = buckets[h];
+    prev = 0 - 1;
+    while (r >= 0) {
+        if (rec_key[r] == key) {
+            if (prev < 0) { buckets[h] = rec_next[r]; }
+            else { rec_next[prev] = rec_next[r]; }
+            free_rec(r);
+            population = population - 1;
+            return 1;
+        }
+        prev = r;
+        r = rec_next[r];
+    }
+    return 0;
+}
+
+int main() {
+    int i; int op; int key; int total;
+    seed = 271828;
+    for (i = 0; i < 512; i++) { rec_next[i] = i - 1; }
+    free_head = 511;
+    for (i = 0; i < 64; i++) { buckets[i] = 0 - 1; }
+    population = 0;
+    total = 0;
+    for (op = 0; op < %(ops)d; op++) {
+        key = rng() %% 400;
+        if ((op & 3) == 0 && population > 100) {
+            total = total + remove(key);
+        } else if ((op & 3) == 1) {
+            insert(key, op);
+        } else {
+            total = total + (find(key) & 255);
+        }
+    }
+    print(total);
+    print(population);
+    return 0;
+}
+""" % {"ops": 2000 * scale}

@@ -1,0 +1,76 @@
+"""vpr: FPGA placement by simulated annealing.
+
+Swap-move cost evaluation over a grid, like vpr's placer: random cell
+pairs, incremental wirelength deltas, accept/reject.  Carries: tight
+loops with compares, address arithmetic, and moderate call density —
+the Table 1 "vpr" column.
+"""
+
+NAME = "vpr"
+SUITE = "int"
+DESCRIPTION = "simulated-annealing placement: swap moves over a grid"
+
+
+def source(scale):
+    return """
+int cellx[144];
+int celly[144];
+int netof[144];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int absdiff(int a, int b) {
+    if (a > b) { return a - b; }
+    return b - a;
+}
+
+int cell_cost(int c) {
+    int n; int other; int cost; int k;
+    n = netof[c];
+    cost = 0;
+    for (k = 0; k < 144; k++) {
+        if (netof[k] == n) {
+            cost = cost + absdiff(cellx[c], cellx[k]);
+            cost = cost + absdiff(celly[c], celly[k]);
+        }
+    }
+    return cost;
+}
+
+int main() {
+    int i; int moves; int a; int b; int before; int after; int t;
+    int accepted; int temperature;
+    seed = 7;
+    for (i = 0; i < 144; i++) {
+        cellx[i] = rng() %% 12;
+        celly[i] = rng() %% 12;
+        netof[i] = rng() %% 24;
+    }
+    accepted = 0;
+    temperature = 64;
+    for (moves = 0; moves < %(moves)d; moves++) {
+        a = rng() %% 144;
+        b = rng() %% 144;
+        before = cell_cost(a) + cell_cost(b);
+        t = cellx[a]; cellx[a] = cellx[b]; cellx[b] = t;
+        t = celly[a]; celly[a] = celly[b]; celly[b] = t;
+        after = cell_cost(a) + cell_cost(b);
+        if (after <= before + temperature) {
+            accepted++;
+        } else {
+            t = cellx[a]; cellx[a] = cellx[b]; cellx[b] = t;
+            t = celly[a]; celly[a] = celly[b]; celly[b] = t;
+        }
+        if ((moves & 31) == 31 && temperature > 1) {
+            temperature = temperature - 1;
+        }
+    }
+    print(accepted);
+    print(cell_cost(0));
+    return 0;
+}
+""" % {"moves": 36 * scale}

@@ -1,0 +1,66 @@
+"""wupwise: lattice QCD (complex matrix arithmetic).
+
+Fixed-point complex matrix-vector products (the BLAS-like zgemv core
+of wupwise).  Carries: mul/add dense FP loops with paired re/im arrays.
+"""
+
+NAME = "wupwise"
+SUITE = "fp"
+DESCRIPTION = "complex matrix-vector products (fixed-point)"
+
+
+def source(scale):
+    return """
+float mre[144]; float mim[144];
+float vre[12]; float vim[12];
+float rre[12]; float rim[12];
+int seed;
+
+int rng() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int zgemv() {
+    int i; int j;
+    float ar; float ai; float sumr; float sumi;
+    for (i = 0; i < 12; i++) {
+        sumr = 0; sumi = 0;
+        for (j = 0; j < 12; j++) {
+            ar = mre[i * 12 + j];
+            ai = mim[i * 12 + j];
+            sumr = sumr + ar * vre[j] - ai * vim[j];
+            sumi = sumi + ar * vim[j] + ai * vre[j];
+        }
+        rre[i] = sumr;
+        rim[i] = sumi;
+    }
+    return 0;
+}
+
+int main() {
+    int i; int sweep;
+    float checksum;
+    seed = 1001;
+    for (i = 0; i < 144; i++) {
+        mre[i] = (rng() %% 17) - 8;
+        mim[i] = (rng() %% 17) - 8;
+    }
+    for (i = 0; i < 12; i++) { vre[i] = i + 1; vim[i] = 11 - i; }
+    for (sweep = 0; sweep < %(sweeps)d; sweep++) {
+        zgemv();
+        for (i = 0; i < 12; i++) {
+            vre[i] = rre[i] - vre[i];
+            vim[i] = rim[i] - vim[i];
+            if (vre[i] > 100000) { vre[i] = vre[i] / 2; }
+            if (vre[i] < 0 - 100000) { vre[i] = vre[i] / 2; }
+            if (vim[i] > 100000) { vim[i] = vim[i] / 2; }
+            if (vim[i] < 0 - 100000) { vim[i] = vim[i] / 2; }
+        }
+    }
+    checksum = 0;
+    for (i = 0; i < 12; i++) { checksum = checksum + vre[i] + vim[i]; }
+    print(checksum);
+    return 0;
+}
+""" % {"sweeps": 70 * scale}

@@ -1,0 +1,105 @@
+"""Benchmark registry.
+
+Each benchmark module under ``repro.workloads.programs`` exports::
+
+    NAME         the SPEC2000 name ("mgrid", "crafty", …)
+    SUITE        "int" or "fp"
+    DESCRIPTION  one line: what the kernel does and which paper artifact
+                 it carries
+    def source(scale): -> MiniC text
+
+``scale`` is a small integer work multiplier; the ``SCALES`` presets map
+symbolic sizes to per-benchmark scales tuned so every benchmark executes
+a comparable number of dynamic instructions.
+"""
+
+import importlib
+from collections import namedtuple
+
+from repro.minicc import compile_source
+
+Benchmark = namedtuple(
+    "Benchmark", ["name", "suite", "description", "source", "runs"]
+)
+
+_PROGRAM_MODULES = [
+    # CINT2000
+    "gzip",
+    "vpr",
+    "gcc",
+    "mcf",
+    "crafty",
+    "parser",
+    "eon",
+    "perlbmk",
+    "gap",
+    "vortex",
+    "bzip2",
+    "twolf",
+    # CFP2000 (Fortran-90 benchmarks excluded, as in the paper)
+    "wupwise",
+    "swim",
+    "mgrid",
+    "applu",
+    "mesa",
+    "art",
+    "equake",
+    "ammp",
+    "sixtrack",
+    "apsi",
+]
+
+SCALES = {"test": 1, "small": 3, "ref": 10}
+
+_registry = None
+
+
+def _load_registry():
+    global _registry
+    if _registry is None:
+        _registry = {}
+        for module_name in _PROGRAM_MODULES:
+            module = importlib.import_module(
+                "repro.workloads.programs.%s" % module_name
+            )
+            bench = Benchmark(
+                module.NAME,
+                module.SUITE,
+                module.DESCRIPTION,
+                module.source,
+                getattr(module, "RUNS", 1),
+            )
+            _registry[bench.name] = bench
+    return _registry
+
+
+def all_benchmarks():
+    """All benchmarks in suite order (INT first, then FP)."""
+    registry = _load_registry()
+    return [registry[name] for name in _PROGRAM_MODULES]
+
+
+def int_benchmarks():
+    return [b for b in all_benchmarks() if b.suite == "int"]
+
+
+def fp_benchmarks():
+    return [b for b in all_benchmarks() if b.suite == "fp"]
+
+
+def benchmark(name):
+    return _load_registry()[name]
+
+
+_image_cache = {}
+
+
+def load_benchmark(name, scale="test"):
+    """Compile a benchmark to an Image (cached per name+scale)."""
+    if isinstance(scale, str):
+        scale = int(scale) if scale.isdigit() else SCALES[scale]
+    key = (name, scale)
+    if key not in _image_cache:
+        bench = benchmark(name)
+        _image_cache[key] = compile_source(bench.source(scale))
+    return _image_cache[key]

@@ -1,0 +1,191 @@
+"""Client API tests: hooks, transparency services, Figure 3 fidelity."""
+
+import pytest
+
+from repro.api.client import Client, DEFAULT_TRACE_END
+from repro.api import dr
+from repro.core import RuntimeOptions
+from repro.loader import Process
+from repro.machine.cost import CostModel, Family
+
+from tests.core.conftest import run_under
+
+
+class RecordingClient(Client):
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def init(self):
+        self.calls.append("init")
+
+    def exit(self):
+        self.calls.append("exit")
+
+    def thread_init(self, context):
+        self.calls.append("thread_init")
+
+    def thread_exit(self, context):
+        self.calls.append("thread_exit")
+
+    def basic_block(self, context, tag, ilist):
+        self.calls.append(("bb", tag))
+
+    def trace(self, context, tag, ilist):
+        self.calls.append(("trace", tag))
+
+    def end_trace(self, context, trace_tag, next_tag):
+        self.calls.append(("end_trace", trace_tag, next_tag))
+        return DEFAULT_TRACE_END
+
+
+class TestHookOrdering:
+    def test_lifecycle_hooks(self, loop_image):
+        client = RecordingClient()
+        run_under(loop_image, client=client)
+        assert client.calls[0] == "init"
+        assert client.calls[1] == "thread_init"
+        assert client.calls[-2] == "thread_exit"
+        assert client.calls[-1] == "exit"
+
+    def test_bb_hook_called_per_block(self, loop_image):
+        client = RecordingClient()
+        _dr, result = run_under(loop_image, client=client)
+        bbs = [c for c in client.calls if isinstance(c, tuple) and c[0] == "bb"]
+        assert len(bbs) == result.events["bbs_built"]
+
+    def test_trace_hook_called_per_trace(self, loop_image):
+        client = RecordingClient()
+        opts = RuntimeOptions.with_traces()
+        opts.trace_threshold = 5
+        _dr, result = run_under(loop_image, opts, client=client)
+        traces = [c for c in client.calls if isinstance(c, tuple) and c[0] == "trace"]
+        assert len(traces) == result.events["traces_built"] > 0
+
+    def test_end_trace_called_during_generation(self, loop_image):
+        client = RecordingClient()
+        opts = RuntimeOptions.with_traces()
+        opts.trace_threshold = 5
+        run_under(loop_image, opts, client=client)
+        assert any(
+            isinstance(c, tuple) and c[0] == "end_trace" for c in client.calls
+        )
+
+    def test_hooks_see_unique_tags(self, loop_image):
+        client = RecordingClient()
+        run_under(loop_image, client=client)
+        bb_tags = [c[1] for c in client.calls if isinstance(c, tuple) and c[0] == "bb"]
+        assert len(bb_tags) == len(set(bb_tags))
+
+
+class TestTransparencyServices:
+    def test_dr_printf_goes_to_private_log(self, loop_image):
+        class Printer(Client):
+            def exit(self):
+                dr.dr_printf(self, "done %d", 42)
+
+        client = Printer()
+        _dr, result = run_under(loop_image, client=client)
+        assert dr.dr_get_log(client) == ["done 42"]
+        # nothing leaked into the application's output stream
+        assert b"done" not in result.output
+
+    def test_dr_global_alloc_in_runtime_region(self, loop_image):
+        allocations = []
+
+        class Allocator(Client):
+            def init(self):
+                allocations.append(dr.dr_global_alloc(self, 64))
+                allocations.append(dr.dr_global_alloc(self, 128))
+
+        drio, _ = run_under(loop_image, client=Allocator())
+        heap = drio.memory.region("runtime_heap")
+        for addr in allocations:
+            assert heap.contains(addr)
+        assert allocations[0] != allocations[1]
+
+    def test_dr_thread_alloc(self, loop_image):
+        got = []
+
+        class ThreadAllocator(Client):
+            def thread_init(self, context):
+                got.append(dr.dr_thread_alloc(context, 32))
+
+        drio, _ = run_under(loop_image, client=ThreadAllocator())
+        assert got and drio.memory.region("runtime_heap").contains(got[0])
+
+    def test_tls_field(self, loop_image):
+        observed = []
+
+        class TlsClient(Client):
+            def thread_init(self, context):
+                dr.dr_set_tls_field(context, {"mine": 1})
+
+            def thread_exit(self, context):
+                observed.append(dr.dr_get_tls_field(context))
+
+        run_under(loop_image, client=TlsClient())
+        assert observed == [{"mine": 1}]
+
+    def test_spill_slots(self, loop_image):
+        class Spiller(Client):
+            def thread_exit(self, context):
+                context.cpu.regs[0] = 0x1234
+                dr.dr_save_reg(context, 0, 0)
+                context.cpu.regs[0] = 0
+                dr.dr_restore_reg(context, 0, 0)
+                assert context.cpu.regs[0] == 0x1234
+
+        run_under(loop_image, client=Spiller())
+
+
+class TestProcessorIdentification:
+    def test_family_matches_cost_model(self, loop_image):
+        seen = []
+
+        class FamilyClient(Client):
+            def init(self):
+                seen.append(dr.proc_get_family(self))
+
+        run_under(
+            loop_image,
+            client=FamilyClient(),
+            cost_model=CostModel(Family.PENTIUM_III),
+        )
+        assert seen == [Family.PENTIUM_III]
+
+
+class TestCompatAliases:
+    def test_figure3_style_walk(self, loop_image):
+        """Walk instructions with the C-flavored aliases from Figure 3."""
+        walked = []
+
+        class Walker(Client):
+            def basic_block(self, context, tag, ilist):
+                ilist.decode_all()
+                instr = dr.instrlist_first(ilist)
+                while instr is not None:
+                    next_instr = dr.instr_get_next(instr)
+                    walked.append(dr.instr_get_opcode(instr))
+                    instr = next_instr
+
+        run_under(loop_image, client=Walker())
+        assert walked
+
+    def test_clean_call_receives_context(self, loop_image):
+        contexts = []
+
+        class CleanCaller(Client):
+            def basic_block(self, context, tag, ilist):
+                dr.dr_insert_clean_call(
+                    ilist, ilist.first(), lambda ctx: contexts.append(ctx)
+                )
+
+        drio, _ = run_under(loop_image, client=CleanCaller())
+        assert contexts
+        assert all(ctx is drio.current_thread for ctx in contexts)
+
+    def test_unattached_client_raises(self):
+        client = Client()
+        with pytest.raises(RuntimeError):
+            client.runtime

@@ -1,0 +1,121 @@
+import pytest
+
+from repro.asm import assemble, AsmError
+from repro.loader import Process
+from repro.machine.interp import run_native
+
+
+def run_src(src):
+    return run_native(Process(assemble(src)))
+
+
+class TestSyntax:
+    def test_comments_and_blanks(self):
+        img = assemble(
+            """
+; a comment
+.entry main
+.text
+main:       ; trailing comment
+    mov eax, 1
+    syscall
+"""
+        )
+        assert img.entry == img.symbol("main")
+
+    def test_memory_operands(self):
+        src = """
+.entry main
+.text
+main:
+    mov esi, 0x100000
+    mov ecx, 3
+    mov [esi + ecx*4 + 8], ecx
+    mov ebx, [esi + 20]
+    mov eax, 3
+    syscall
+    mov eax, 1
+    syscall
+"""
+        r = run_src(src)
+        assert int.from_bytes(r.output, "little") == 3
+
+    def test_byte_operand_size(self):
+        src = """
+.entry main
+.text
+main:
+    mov esi, 0x100000
+    mov ecx, 0x1FF
+    movb [esi], ecx
+    movzx ebx, byte [esi]
+    mov eax, 3
+    syscall
+    mov eax, 1
+    syscall
+"""
+        r = run_src(src)
+        assert int.from_bytes(r.output, "little") == 0xFF
+
+    def test_data_section_symbols(self):
+        src = """
+.entry main
+.data 0x100000
+a: dd 17
+b: dd 25
+.text
+main:
+    mov ebx, [a]
+    add ebx, [b]
+    mov eax, 3
+    syscall
+    mov eax, 1
+    syscall
+"""
+        r = run_src(src)
+        assert int.from_bytes(r.output, "little") == 42
+
+    def test_db_directive(self):
+        src = """
+.entry main
+.data 0x100000
+msg: db 72, 105
+.text
+main:
+    movzx ebx, byte [msg]
+    mov eax, 2
+    syscall
+    movzx ebx, byte [msg + 1]
+    mov eax, 2
+    syscall
+    mov eax, 1
+    syscall
+"""
+        r = run_src(src)
+        assert r.output == b"Hi"
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble(".entry main\nmain:\n    bogus eax, 1\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmError):
+            assemble(".entry main\nmain:\n    mov eax, @!\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AsmError):
+            assemble(".entry main\nmain:\n    add eax\n")
+
+    def test_undefined_entry(self):
+        with pytest.raises(AsmError):
+            assemble("start:\n    mov eax, 1\n    syscall\n")
+
+    def test_line_numbers_in_errors(self):
+        try:
+            assemble(".entry main\nmain:\n    mov eax, 1\n    zzz\n")
+        except AsmError as exc:
+            assert exc.lineno == 4
+        else:
+            raise AssertionError("expected AsmError")

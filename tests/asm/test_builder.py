@@ -1,0 +1,103 @@
+import pytest
+
+from repro.asm import CodeBuilder, mem
+from repro.isa.decoder import decode_full
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+from repro.loader import Process
+from repro.machine.interp import run_native
+
+
+class TestBuilder:
+    def test_simple_sequence(self):
+        b = CodeBuilder(base=0)
+        b.mov(Reg.EAX, 5)
+        b.add(Reg.EAX, 1)
+        code, _ = b.assemble()
+        d = decode_full(code, 0, pc=0)
+        assert d.opcode == Opcode.MOV
+
+    def test_labels_and_branches(self):
+        b = CodeBuilder(base=0x1000)
+        b.label("start")
+        b.dec(Reg.ECX)
+        b.jnz("start")
+        code, labels = b.assemble()
+        assert labels["start"] == 0x1000
+        # dec ecx = 1 byte; jnz should relax to rel8 (2 bytes)
+        assert len(code) == 3
+
+    def test_forward_branch_relaxes(self):
+        b = CodeBuilder(base=0)
+        b.jmp("end")
+        for _ in range(10):
+            b.nop()
+        b.label("end")
+        b.nop()
+        code, labels = b.assemble()
+        assert labels["end"] == 12  # 2-byte rel8 jmp + 10 nops
+        assert code[0] == 0xEB
+
+    def test_far_branch_stays_long(self):
+        b = CodeBuilder(base=0)
+        b.jmp("end")
+        for _ in range(300):
+            b.nop()
+        b.label("end")
+        code, labels = b.assemble()
+        assert code[0] == 0xE9
+        assert labels["end"] == 305
+
+    def test_duplicate_label_rejected(self):
+        b = CodeBuilder()
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_undefined_label_rejected(self):
+        b = CodeBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(KeyError):
+            b.assemble()
+
+    def test_wrong_arity_rejected(self):
+        b = CodeBuilder()
+        with pytest.raises(ValueError):
+            b.instr(Opcode.ADD, Reg.EAX)
+
+    def test_keyword_mnemonics(self):
+        b = CodeBuilder()
+        b.and_(Reg.EAX, 0xFF)
+        b.or_(Reg.EAX, 1)
+        b.not_(Reg.EAX)
+        code, _ = b.assemble()
+        assert len(code) > 0
+
+    def test_label_address_operand(self):
+        b = CodeBuilder(base=0x1000)
+        b.mov(Reg.EBX, b.label_address("target"))
+        b.label("target")
+        b.nop()
+        code, labels = b.assemble()
+        d = decode_full(code, 0, pc=0x1000)
+        assert d.operands[1].value == labels["target"]
+
+    def test_image_runs(self):
+        b = CodeBuilder(base=0x1000)
+        b.label("main")
+        b.mov(Reg.EBX, 123)
+        b.mov(Reg.EAX, 3)
+        b.syscall()
+        b.mov(Reg.EAX, 1)
+        b.syscall()
+        image = b.image(entry="main")
+        r = run_native(Process(image))
+        assert int.from_bytes(r.output, "little") == 123
+
+    def test_mem_helper(self):
+        b = CodeBuilder()
+        b.mov(Reg.EAX, mem(base=Reg.EBP, disp=-8))
+        code, _ = b.assemble()
+        d = decode_full(code, 0)
+        assert d.operands[1].is_mem()
+        assert d.operands[1].disp == -8

@@ -1,0 +1,108 @@
+"""Adaptive indirect-branch dispatch tests (paper Section 4.3)."""
+
+from repro.clients import IndirectBranchDispatch
+from repro.core import RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.minicc import compile_source
+
+from tests.core.conftest import run_under
+
+
+POLYMORPHIC_SRC = """
+int table[4];
+int h0(int x) { return x + 1; }
+int h1(int x) { return x * 3; }
+int h2(int x) { return x - 2; }
+int h3(int x) { return x ^ 5; }
+int main() {
+    int i; int acc; int f;
+    table[0] = &h0; table[1] = &h1; table[2] = &h2; table[3] = &h3;
+    acc = 0;
+    for (i = 0; i < 4000; i++) {
+        f = table[i & 3];
+        acc = acc + f(i);
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+MONOMORPHIC_SRC = """
+int table[1];
+int only(int x) { return x * 2 + 1; }
+int main() {
+    int i; int acc; int f;
+    table[0] = &only;
+    acc = 0;
+    for (i = 0; i < 800; i++) {
+        f = table[0];
+        acc = acc + f(i);
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+
+class TestAdaptiveRewriting:
+    def test_polymorphic_site_gets_dispatch_chain(self):
+        image = compile_source(POLYMORPHIC_SRC)
+        native = run_native(Process(image))
+        client = IndirectBranchDispatch(sample_threshold=16)
+        _dr, result = run_under(image, client=client)
+        assert result.output == native.output
+        assert client.traces_rewritten >= 1
+        assert result.events["fragments_replaced"] >= 1
+        assert result.events["dispatch_check_hits"] > 0
+
+    def test_dispatch_reduces_hashtable_lookups(self):
+        image = compile_source(POLYMORPHIC_SRC)
+        _dr, base = run_under(image)
+        _dr, optimized = run_under(
+            image, client=IndirectBranchDispatch(sample_threshold=16)
+        )
+        assert optimized.events["ibl_hits"] < base.events["ibl_hits"] / 2
+        assert optimized.cycles < base.cycles
+
+    def test_profiling_call_kept_after_rewrite(self):
+        """Paper: the profiling call stays, reached only when every
+        compare misses."""
+        image = compile_source(POLYMORPHIC_SRC)
+        client = IndirectBranchDispatch(
+            sample_threshold=16, max_targets=2, add_per_rewrite=1
+        )
+        _dr, result = run_under(image, client=client)
+        # With room for only 2 of 4 targets, the profiler keeps firing.
+        assert result.events["clean_calls"] > client.sample_threshold
+
+    def test_targets_never_removed(self):
+        image = compile_source(POLYMORPHIC_SRC)
+        client = IndirectBranchDispatch(sample_threshold=16)
+        run_under(image, client=client)
+        for site in client.sites.values():
+            # installed only grows (checked indirectly: every installed
+            # target was sampled at least once and none disappear)
+            assert len(site.installed) <= client.max_targets
+
+    def test_monomorphic_site_stabilizes(self):
+        """A stable target needs at most one rewrite (the single hot
+        target is installed and then every dispatch check hits; the
+        profiler goes quiet)."""
+        image = compile_source(MONOMORPHIC_SRC)
+        native = run_native(Process(image))
+        client = IndirectBranchDispatch(sample_threshold=64)
+        _dr, result = run_under(image, client=client)
+        assert result.output == native.output
+        assert client.traces_rewritten <= 1
+        if client.traces_rewritten:
+            # after stabilizing, checks hit and the hashtable is idle
+            assert result.events["dispatch_check_hits"] > 0
+            assert result.events["ibl_hits"] < 500
+
+    def test_max_targets_bounds_chain(self):
+        image = compile_source(POLYMORPHIC_SRC)
+        client = IndirectBranchDispatch(sample_threshold=8, max_targets=2)
+        _dr, result = run_under(image, client=client)
+        for site in client.sites.values():
+            assert len(site.installed) <= 2

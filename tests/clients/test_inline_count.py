@@ -1,0 +1,68 @@
+"""Inline instruction counter: analysis-guided instrumentation."""
+
+from repro.clients import InlineInstructionCounter, InstructionCounter
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.workloads import load_benchmark
+
+
+def run_with(image, client, options=None):
+    dr = DynamoRIO(
+        Process(image),
+        options=options or RuntimeOptions.with_traces(),
+        client=client,
+    )
+    return dr, dr.run()
+
+
+def test_counts_match_clean_call_version():
+    image = load_benchmark("vpr", 1)
+    native = run_native(Process(image))
+    inline = InlineInstructionCounter()
+    _dr, inline_result = run_with(
+        image, inline, RuntimeOptions.with_indirect_links()
+    )
+    clean = InstructionCounter()
+    _dr, clean_result = run_with(
+        image, clean, RuntimeOptions.with_indirect_links()
+    )
+    assert inline_result.output == native.output
+    assert inline.executed == clean.executed == native.instructions
+
+
+def test_mostly_inline():
+    image = load_benchmark("vpr", 1)
+    client = InlineInstructionCounter()
+    run_with(image, client)
+    assert client.inline_blocks > client.fallback_blocks
+
+
+def test_much_cheaper_than_clean_calls():
+    image = load_benchmark("vpr", 1)
+    _dr, inline_result = run_with(image, InlineInstructionCounter())
+    _dr, clean_result = run_with(image, InstructionCounter())
+    assert inline_result.cycles < clean_result.cycles * 0.8
+
+
+def test_counter_lives_in_runtime_memory():
+    image = load_benchmark("vpr", 1)
+    client = InlineInstructionCounter()
+    dr, result = run_with(image, client)
+    assert dr.memory.region("runtime_heap").contains(client.counter_addr)
+    # and still transparent despite app-visible-address stores
+    native = run_native(Process(image))
+    assert result.output == native.output
+
+
+def test_counts_survive_trace_promotion():
+    """Traces are stitched from client-modified blocks, so the inline
+    adds ride along into traces automatically."""
+    image = load_benchmark("vpr", 1)
+    native = run_native(Process(image))
+    client = InlineInstructionCounter()
+    opts = RuntimeOptions.with_traces()
+    opts.trace_threshold = 5
+    dr, result = run_with(image, client, opts)
+    assert result.events["traces_built"] > 0
+    assert client.executed == native.instructions

@@ -1,0 +1,106 @@
+"""Instrumentation clients and the combined-optimizations client."""
+
+from repro.api.dr import dr_get_log
+from repro.clients import (
+    CombinedClient,
+    InstructionCounter,
+    NullClient,
+    OpcodeProfiler,
+    RedundantLoadRemoval,
+    StrengthReduction,
+    make_all_optimizations,
+)
+from repro.core import RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.minicc import compile_source
+
+from tests.core.conftest import run_under
+
+
+class TestNullClient:
+    def test_sees_all_events(self, loop_image):
+        client = NullClient()
+        _dr, result = run_under(loop_image, client=client)
+        assert client.bb_count == result.events["bbs_built"]
+        assert client.trace_count == result.events["traces_built"]
+        assert client.thread_inits == 1
+
+    def test_does_not_change_behavior(self, loop_image, loop_native):
+        _dr, result = run_under(loop_image, client=NullClient())
+        assert result.output == loop_native.output
+
+
+class TestInstructionCounter:
+    def test_count_matches_native_execution(self, loop_image, loop_native):
+        client = InstructionCounter()
+        _dr, result = run_under(
+            loop_image, RuntimeOptions.with_indirect_links(), client=client
+        )
+        assert result.output == loop_native.output
+        # the clean-call counter sees exactly the application instructions
+        assert client.executed == loop_native.instructions
+
+    def test_reports_via_dr_printf(self, loop_image):
+        client = InstructionCounter()
+        run_under(loop_image, RuntimeOptions.with_indirect_links(), client=client)
+        log = dr_get_log(client)
+        assert len(log) == 1 and log[0].startswith("executed ")
+
+
+class TestOpcodeProfiler:
+    def test_histogram_collected(self, loop_image):
+        client = OpcodeProfiler()
+        _dr, result = run_under(loop_image, client=client)
+        assert client.block_opcodes  # saw something
+        assert sum(client.block_opcodes.values()) > 10
+        assert "mov" in client.block_opcodes
+
+    def test_trace_opcodes_tracked_separately(self, loop_image):
+        client = OpcodeProfiler()
+        opts = RuntimeOptions.with_traces()
+        opts.trace_threshold = 5
+        run_under(loop_image, opts, client=client)
+        assert client.trace_opcodes
+
+
+class TestCombined:
+    def test_all_four_transparent(self, loop_image, loop_native):
+        _dr, result = run_under(loop_image, client=make_all_optimizations())
+        assert result.output == loop_native.output
+        assert result.exit_code == loop_native.exit_code
+
+    def test_all_four_beat_single_clients_usually(self, loop_image):
+        _dr, base = run_under(loop_image)
+        _dr, combined = run_under(loop_image, client=make_all_optimizations())
+        # combined should not be drastically worse than base
+        assert combined.cycles < base.cycles * 1.1
+
+    def test_hooks_fan_out(self, loop_image):
+        a, b = NullClient(), NullClient()
+        _dr, result = run_under(loop_image, client=CombinedClient([a, b]))
+        assert a.bb_count == b.bb_count == result.events["bbs_built"]
+
+    def test_end_trace_first_non_default_wins(self):
+        from repro.api.client import Client, END_TRACE, DEFAULT_TRACE_END
+
+        calls = []
+
+        class Defaulter(Client):
+            def end_trace(self, context, trace_tag, next_tag):
+                calls.append("default")
+                return DEFAULT_TRACE_END
+
+        class Ender(Client):
+            def end_trace(self, context, trace_tag, next_tag):
+                calls.append("ender")
+                return END_TRACE
+
+        class Never(Client):
+            def end_trace(self, context, trace_tag, next_tag):
+                calls.append("never")
+                raise AssertionError("should not be consulted after Ender")
+
+        combined = CombinedClient([Defaulter(), Ender(), Never()])
+        assert combined.end_trace(None, 0, 0) == END_TRACE
+        assert calls == ["default", "ender"]

@@ -1,0 +1,7 @@
+"""Core-test fixtures re-exported from the top-level conftest."""
+
+from tests.conftest import (  # noqa: F401
+    INDIRECT_SRC,
+    LOOP_SRC,
+    run_under,
+)

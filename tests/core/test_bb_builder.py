@@ -1,0 +1,119 @@
+import pytest
+
+from repro.asm import CodeBuilder, mem
+from repro.core.bb_builder import block_instr_count, build_basic_block
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+from repro.machine.errors import MachineFault
+from repro.machine.memory import Memory
+
+
+def make_memory(builder):
+    code, labels = builder.assemble()
+    memory = Memory(size=0x10000)
+    memory.write_bytes(builder.base, code)
+    return memory, labels
+
+
+class TestBlockShapes:
+    def test_block_ends_at_conditional_branch(self):
+        b = CodeBuilder(base=0x1000)
+        b.mov(Reg.EAX, 1)
+        b.add(Reg.EAX, 2)
+        b.cmp(Reg.EAX, 3)
+        b.jnz("elsewhere")
+        b.label("elsewhere")
+        b.nop()
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000)
+        # bundle + jnz + synthetic fall-through jmp
+        nodes = list(il)
+        assert nodes[0].is_bundle
+        assert nodes[1].opcode == Opcode.JNZ
+        assert nodes[1].is_exit_cti
+        assert nodes[2].opcode == Opcode.JMP
+        assert nodes[2].note["synthetic_fallthrough"]
+        assert block_instr_count(il) == 4  # 3 body + jnz
+
+    def test_cti_is_level3_body_is_level0(self):
+        """The paper's Section 3.1 example: two Instrs, Level 0 + Level 3."""
+        b = CodeBuilder(base=0x1000)
+        b.mov(Reg.EAX, 1)
+        b.jmp("self")
+        b.label("self")
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000)
+        nodes = list(il)
+        assert len(nodes) == 2
+        assert nodes[0].level == 0
+        assert nodes[1].level == 3
+
+    def test_block_ends_at_ret(self):
+        b = CodeBuilder(base=0x1000)
+        b.mov(Reg.EAX, 5)
+        b.ret()
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000)
+        assert il.last().opcode == Opcode.RET
+        assert len(list(il)) == 2
+
+    def test_block_starting_with_cti(self):
+        b = CodeBuilder(base=0x1000)
+        b.ret()
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000)
+        nodes = list(il)
+        assert len(nodes) == 1
+        assert nodes[0].opcode == Opcode.RET
+
+    def test_block_ends_at_indirect_jump(self):
+        b = CodeBuilder(base=0x1000)
+        b.mov(Reg.EBX, 0x2000)
+        b.jmp_ind(Reg.EBX)
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000)
+        assert il.last().opcode == Opcode.JMP_IND
+
+    def test_max_instrs_splits_block(self):
+        b = CodeBuilder(base=0x1000)
+        for _ in range(50):
+            b.nop()
+        b.ret()
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000, max_instrs=10)
+        # ends with a synthetic jmp to the next address
+        last = il.last()
+        assert last.opcode == Opcode.JMP
+        assert last.target.pc == 0x1000 + 10
+        assert block_instr_count(il) == 10
+
+    def test_halt_terminates_block(self):
+        b = CodeBuilder(base=0x1000)
+        b.mov(Reg.EAX, 1)
+        b.hlt()
+        b.nop()
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000)
+        # hlt stays inside the block (it ends the program when executed)
+        count = block_instr_count(il)
+        assert count == 2
+
+    def test_bad_code_faults(self):
+        memory = Memory(size=0x10000)
+        memory.write_bytes(0x1000, b"\x06\x06")
+        with pytest.raises(MachineFault):
+            build_basic_block(memory, 0x1000)
+
+    def test_syscall_ends_block(self):
+        """As in DynamoRIO: the kernel may transfer control at a
+        syscall, so blocks stop there."""
+        b = CodeBuilder(base=0x1000)
+        b.syscall()
+        b.mov(Reg.EAX, 1)
+        b.ret()
+        memory, _ = make_memory(b)
+        il = build_basic_block(memory, 0x1000)
+        assert block_instr_count(il) == 1
+        last = il.last()
+        assert last.opcode == Opcode.JMP
+        assert last.target.pc == 0x1001  # continuation after the syscall

@@ -1,0 +1,113 @@
+"""Code cache limits/eviction and custom exit stubs."""
+
+import pytest
+
+from repro.api.client import Client
+from repro.api.dr import dr_insert_clean_call, dr_set_exit_stub
+from repro.core import RuntimeOptions
+from repro.core.code_cache import CacheFullError, CacheUnit
+from repro.core.fragments import Fragment
+from repro.ir.instrlist import InstrList
+from repro.ir.create import INSTR_CREATE_mov, OPND_CREATE_MEM, OPND_CREATE_INT32
+
+from tests.core.conftest import run_under
+
+
+class TestCacheUnit:
+    def _fragment(self, tag, size):
+        f = Fragment(tag, Fragment.KIND_BB)
+        f.size = size
+        return f
+
+    def test_bump_allocation(self):
+        unit = CacheUnit("bb", base=0x1000)
+        a = unit.allocate(self._fragment(1, 100))
+        b = unit.allocate(self._fragment(2, 50))
+        assert a == 0x1000 and b == 0x1064
+        assert unit.used() == 150
+
+    def test_limit_raises(self):
+        unit = CacheUnit("bb", base=0, limit=100)
+        unit.allocate(self._fragment(1, 80))
+        with pytest.raises(CacheFullError):
+            unit.allocate(self._fragment(2, 40))
+
+    def test_flush_resets(self):
+        unit = CacheUnit("bb", base=0, limit=100)
+        unit.allocate(self._fragment(1, 80))
+        dropped = unit.flush()
+        assert len(dropped) == 1
+        assert unit.used() == 0
+        unit.allocate(self._fragment(2, 80))  # fits again
+
+
+class TestCacheEviction:
+    def test_tiny_cache_still_transparent(self, loop_image, loop_native):
+        opts = RuntimeOptions.with_traces()
+        opts.code_cache_limit = 700  # absurdly small: constant flushing
+        _dr, result = run_under(loop_image, opts)
+        assert result.output == loop_native.output
+        assert result.events["cache_evictions"] > 0
+        assert result.events["fragments_deleted"] > 0
+
+    def test_fragment_deleted_hook_fires(self, loop_image):
+        deleted = []
+
+        class Watcher(Client):
+            def fragment_deleted(self, context, tag):
+                deleted.append(tag)
+
+        opts = RuntimeOptions.with_traces()
+        opts.code_cache_limit = 700
+        _dr, result = run_under(loop_image, opts, client=Watcher())
+        assert deleted
+        assert len(deleted) == result.events["fragments_deleted"]
+
+
+class TestCustomExitStubs:
+    def test_stub_code_runs_on_unlinked_exit(self, loop_image, loop_native):
+        """Client stub code writes a marker to runtime memory whenever an
+        exit goes through its stub."""
+        marker_addr = 0x1400000 - 0x10000  # inside runtime heap... use heap
+
+        class StubClient(Client):
+            def __init__(self):
+                super().__init__()
+                self.stubs_attached = 0
+
+            def basic_block(self, context, tag, ilist):
+                last = ilist.last()
+                if last is not None and last.level >= 2 and last.is_cti():
+                    stub = InstrList()
+                    stub.append(
+                        INSTR_CREATE_mov(
+                            OPND_CREATE_MEM(disp=0x1000000),  # runtime heap
+                            OPND_CREATE_INT32(0xBEEF),
+                        )
+                    )
+                    dr_set_exit_stub(last, stub)
+                    self.stubs_attached += 1
+
+        client = StubClient()
+        opts = RuntimeOptions.bb_cache_only()  # everything unlinked
+        dr, result = run_under(loop_image, opts, client=client)
+        assert client.stubs_attached > 0
+        assert result.output == loop_native.output
+        assert dr.memory.read_u32(0x1000000) == 0xBEEF
+
+    def test_always_stub_runs_even_when_linked(self, loop_image, loop_native):
+        hits = []
+
+        class CountingStub(Client):
+            def basic_block(self, context, tag, ilist):
+                last = ilist.last()
+                if last is not None and last.level >= 2 and last.is_cti():
+                    stub = InstrList()
+                    dr_insert_clean_call(stub, None, lambda ctx: hits.append(1))
+                    dr_set_exit_stub(last, stub, always=True)
+
+        opts = RuntimeOptions.with_direct_links()
+        _dr, result = run_under(loop_image, opts, client=CountingStub())
+        assert result.output == loop_native.output
+        # linked exits still pass through the stub
+        assert len(hits) > result.events["context_switches"]

@@ -1,0 +1,173 @@
+"""Fragment lowering (emit) unit tests, including client-inserted
+intra-fragment control flow (OP_LOCAL_BR) executed end to end."""
+
+import pytest
+
+from repro.api.client import Client
+from repro.core import RuntimeOptions
+from repro.core.emit import (
+    EmitError,
+    OP_COND_EXIT,
+    OP_EXEC,
+    OP_IND_EXIT,
+    OP_JMP_EXIT,
+    OP_LOCAL_BR,
+    emit_fragment,
+)
+from repro.core.fragments import Fragment
+from repro.ir.instr import Instr, LabelRef
+from repro.ir.instrlist import InstrList
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    INSTR_CREATE_call,
+    INSTR_CREATE_cmp,
+    INSTR_CREATE_jmp,
+    INSTR_CREATE_jz,
+    INSTR_CREATE_mov,
+    INSTR_CREATE_nop,
+    INSTR_CREATE_ret,
+    OPND_CREATE_INT32,
+    OPND_CREATE_MEM,
+    OPND_CREATE_PC,
+    OPND_CREATE_REG,
+)
+from repro.isa.registers import Reg
+from repro.machine.cost import CostModel
+from repro.machine.interp import run_native
+from repro.loader import Process
+from repro.minicc import compile_source
+
+from tests.core.conftest import run_under
+
+
+def emit(instrs, kind=Fragment.KIND_BB, tag=0x1000):
+    return emit_fragment(tag, kind, InstrList(instrs), CostModel(), None)
+
+
+class TestLoweringShapes:
+    def test_straight_line(self):
+        frag = emit(
+            [
+                INSTR_CREATE_mov(OPND_CREATE_REG(Reg.EAX), OPND_CREATE_INT32(1)),
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x2000)),
+            ]
+        )
+        kinds = [op[0] for op in frag.code]
+        assert kinds == [OP_EXEC, OP_JMP_EXIT]
+        assert len(frag.exits) == 1
+        assert frag.exits[0].target_tag == 0x2000
+
+    def test_cond_exit(self):
+        frag = emit(
+            [
+                INSTR_CREATE_cmp(OPND_CREATE_REG(Reg.EAX), OPND_CREATE_INT32(0)),
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x3000)),
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x4000)),
+            ]
+        )
+        kinds = [op[0] for op in frag.code]
+        assert kinds == [OP_EXEC, OP_COND_EXIT, OP_JMP_EXIT]
+        assert len(frag.exits) == 2
+
+    def test_ret_is_indirect_exit(self):
+        frag = emit([INSTR_CREATE_ret()])
+        assert frag.code[0][0] == OP_IND_EXIT
+        assert frag.code[0][2] == "ret"
+        assert frag.exits[0].kind == "indirect"
+
+    def test_call_requires_return_address(self):
+        call = INSTR_CREATE_call(OPND_CREATE_PC(0x100))  # level 4, no raw
+        with pytest.raises(EmitError):
+            emit([call])
+
+    def test_call_with_note_return_addr(self):
+        call = INSTR_CREATE_call(OPND_CREATE_PC(0x100))
+        call.note = {"return_addr": 0x1234}
+        frag = emit([call])
+        assert frag.code[0][2] == 0x1234  # the pushed return address
+
+    def test_local_branch_to_label(self):
+        label = Instr.label()
+        jz = INSTR_CREATE_jz(OPND_CREATE_PC(0))
+        jz.set_target(LabelRef(label))
+        frag = emit(
+            [
+                jz,
+                INSTR_CREATE_nop(),
+                label,
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x9999)),
+            ]
+        )
+        kinds = [op[0] for op in frag.code]
+        assert kinds == [OP_LOCAL_BR, OP_EXEC, OP_JMP_EXIT]
+        # the local branch targets op index 2 (labels lower to nothing)
+        assert frag.code[0][2] == 2
+
+    def test_label_outside_fragment_rejected(self):
+        foreign = Instr.label()
+        jz = INSTR_CREATE_jz(OPND_CREATE_PC(0))
+        jz.set_target(LabelRef(foreign))
+        with pytest.raises(EmitError):
+            emit([jz, INSTR_CREATE_jmp(OPND_CREATE_PC(0x9999))])
+
+    def test_size_includes_stub_space(self):
+        frag = emit([INSTR_CREATE_jmp(OPND_CREATE_PC(0x2000))])
+        from repro.core.emit import STUB_SIZE
+
+        assert frag.size >= STUB_SIZE
+
+
+class _BranchInsertingClient(Client):
+    """Inserts a conditional skip over a memory bump into every block:
+
+        cmp [flag], 0
+        jz skip
+        add [counter], 1
+      skip:
+
+    Exercises OP_LOCAL_BR inside real fragments end to end."""
+
+    FLAG = 0x1000010  # runtime heap addresses
+    COUNTER = 0x1000014
+
+    def basic_block(self, context, tag, ilist):
+        from repro.analysis import find_dead_flags_point
+
+        ilist.expand_bundles()
+        point = find_dead_flags_point(ilist)
+        if point is None:
+            return
+        label = Instr.label()
+        jz = INSTR_CREATE_jz(OPND_CREATE_PC(0))
+        jz.set_target(LabelRef(label))
+        seq = [
+            INSTR_CREATE_cmp(
+                OPND_CREATE_MEM(disp=self.FLAG), OPND_CREATE_INT32(0)
+            ),
+            jz,
+            INSTR_CREATE_add(
+                OPND_CREATE_MEM(disp=self.COUNTER), OPND_CREATE_INT32(1)
+            ),
+            label,
+        ]
+        for instr in seq:
+            ilist.insert_before(point, instr)
+
+
+def test_client_local_branches_execute(loop_image, loop_native):
+    client = _BranchInsertingClient()
+    dr, result = run_under(loop_image, client=client)
+    assert result.output == loop_native.output  # flag=0: bumps all skipped
+    assert dr.memory.read_u32(_BranchInsertingClient.COUNTER) == 0
+
+    # now with the flag set: the bump path executes per block entry
+    client2 = _BranchInsertingClient()
+    dr2 = None
+    from repro.core import DynamoRIO
+
+    process = Process(loop_image)
+    dr2 = DynamoRIO(process, options=RuntimeOptions.with_traces(), client=client2)
+    dr2.memory.write_u32(_BranchInsertingClient.FLAG, 1)
+    result2 = dr2.run()
+    assert result2.output == loop_native.output
+    assert dr2.memory.read_u32(_BranchInsertingClient.COUNTER) > 100

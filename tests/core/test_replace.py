@@ -1,0 +1,114 @@
+"""Adaptive fragment replacement (paper Section 3.4)."""
+
+from repro.api.dr import dr_decode_fragment, dr_replace_fragment
+from repro.api.client import Client
+from repro.core import RuntimeOptions
+from repro.ir.create import INSTR_CREATE_nop
+from repro.isa.opcodes import Opcode
+
+from tests.core.conftest import run_under
+
+
+class _ReplacingClient(Client):
+    """On the first trace, re-decodes and replaces it with a version
+    that has an extra (harmless) nop — exercising the whole
+    decode/replace path from inside a clean call."""
+
+    def __init__(self):
+        super().__init__()
+        self.replaced_tags = []
+        self.decode_matched = []
+
+    def trace(self, context, tag, ilist):
+        from repro.api.dr import dr_insert_clean_call
+
+        def replace_self(ctx, _tag=tag):
+            if _tag in self.replaced_tags:
+                return
+            il = dr_decode_fragment(ctx, _tag)
+            if il is None:
+                return
+            original = [
+                i.opcode for i in il if i.level >= 2 and not i.is_label()
+            ]
+            self.decode_matched.append(len(original) > 0)
+            il.prepend(INSTR_CREATE_nop())
+            if dr_replace_fragment(ctx, _tag, il):
+                self.replaced_tags.append(_tag)
+
+        dr_insert_clean_call(ilist, ilist.first(), replace_self)
+
+
+def test_replace_from_inside_fragment(loop_image, loop_native):
+    """A trace replaces itself while executing (paper: 'DynamoRIO is
+    able to perform this replacement while execution is still inside
+    the old fragment')."""
+    client = _ReplacingClient()
+    opts = RuntimeOptions.with_traces()
+    opts.trace_threshold = 5
+    _dr, result = run_under(loop_image, opts, client=client)
+    assert result.output == loop_native.output  # still transparent
+    assert client.replaced_tags  # at least one replacement happened
+    assert all(client.decode_matched)
+    assert result.events["fragments_replaced"] >= 1
+
+
+def test_decode_fragment_returns_copy(loop_image):
+    opts = RuntimeOptions.with_traces()
+    opts.trace_threshold = 5
+    dr, _ = run_under(loop_image, opts)
+    thread = dr.current_thread
+    traces = list(thread.trace_cache.fragments.values())
+    assert traces
+    tag = traces[0].tag
+    il1 = dr.decode_fragment(thread, tag)
+    il2 = dr.decode_fragment(thread, tag)
+    assert il1 is not il2
+    assert len(il1) == len(il2)
+    # mutating the copy does not affect the cached fragment
+    il1.prepend(INSTR_CREATE_nop())
+    assert len(dr.decode_fragment(thread, tag)) == len(il2)
+
+
+def test_replace_repoints_incoming_links(loop_image):
+    opts = RuntimeOptions.with_traces()
+    opts.trace_threshold = 5
+    dr, _ = run_under(loop_image, opts)
+    thread = dr.current_thread
+    candidates = [
+        f
+        for f in thread.trace_cache.fragments.values()
+        if f.incoming
+    ]
+    if not candidates:
+        candidates = [
+            f for f in thread.bb_cache.fragments.values() if f.incoming
+        ]
+    assert candidates
+    old = candidates[0]
+    incoming_before = list(old.incoming)
+    il = dr.decode_fragment(thread, old.tag)
+    assert dr.replace_fragment(thread, old.tag, il)
+    new = thread.lookup_fragment(old.tag)
+    assert new is not old
+    assert old.deleted
+    for stub in incoming_before:
+        if stub.fragment is old:
+            # A self-link: the old fragment's own exits dissolve (its
+            # code may still be running; the next dispatch finds the
+            # new fragment), so it legitimately ends up unlinked.
+            assert stub.linked_to is None
+        else:
+            assert stub.linked_to is new
+
+
+def test_replace_unknown_tag_returns_false(loop_image):
+    dr, _ = run_under(loop_image)
+    from repro.ir.instrlist import InstrList
+
+    assert not dr.replace_fragment(dr.current_thread, 0xDEAD, InstrList())
+
+
+def test_decode_unknown_tag_returns_none(loop_image):
+    dr, _ = run_under(loop_image)
+    assert dr.decode_fragment(dr.current_thread, 0xDEAD) is None

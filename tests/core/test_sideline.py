@@ -1,0 +1,46 @@
+"""Sideline optimization (paper Section 3.4's future work, implemented).
+
+With ``sideline_optimization`` enabled, trace construction and client
+trace processing happen on a concurrent (idle-processor) thread: their
+cycles leave the application's critical path and are tracked in the
+``sideline_cycles`` event instead.  Fragment replacement still uses the
+paper's low-overhead swap, so behavior is unchanged.
+"""
+
+from repro.clients import RedundantLoadRemoval
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.workloads import load_benchmark
+
+
+def _run(image, sideline, client=None):
+    opts = RuntimeOptions.with_traces()
+    opts.sideline_optimization = sideline
+    return DynamoRIO(Process(image), options=opts, client=client).run()
+
+
+def test_sideline_keeps_transparency():
+    image = load_benchmark("vpr", 1)
+    native = run_native(Process(image))
+    result = _run(image, sideline=True, client=RedundantLoadRemoval())
+    assert result.output == native.output
+    assert result.exit_code == native.exit_code
+
+
+def test_sideline_moves_cycles_off_critical_path():
+    image = load_benchmark("vpr", 1)
+    inline = _run(image, sideline=False, client=RedundantLoadRemoval())
+    sideline = _run(image, sideline=True, client=RedundantLoadRemoval())
+    assert sideline.events.get("sideline_cycles", 0) > 0
+    # the moved cycles come straight off the application's total
+    assert sideline.cycles + sideline.events["sideline_cycles"] == inline.cycles
+    assert sideline.cycles < inline.cycles
+
+
+def test_sideline_without_client_still_helps():
+    image = load_benchmark("vpr", 1)
+    inline = _run(image, sideline=False)
+    sideline = _run(image, sideline=True)
+    assert sideline.cycles < inline.cycles
+    assert sideline.events["traces_built"] == inline.events["traces_built"]

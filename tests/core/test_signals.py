@@ -1,0 +1,154 @@
+"""Asynchronous signal interception (paper Section 2).
+
+"Signals on Linux must be similarly intercepted": the kernel never
+transfers control behind the runtime's back.  Alarm signals are
+delivered at safe points — between instructions natively, at a fragment
+boundary under the runtime — so, exactly as in real DynamoRIO, the
+*precise* delivery instant may differ while the control-flow contract
+(handler runs, sees the interrupted pc on the stack, iret resumes)
+holds in both.
+"""
+
+import pytest
+
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.minicc import compile_source
+
+
+SIGNAL_SRC = """
+int ticks;
+
+int on_alarm() {
+    ticks++;
+    if (ticks < 4) { alarm(250); }
+    sigreturn;
+    return 0;
+}
+
+int main() {
+    int i;
+    sighandler(&on_alarm);
+    alarm(250);
+    i = 0;
+    while (ticks < 4) { i++; }
+    print(ticks);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def signal_image():
+    return compile_source(SIGNAL_SRC)
+
+
+class TestNativeSignals:
+    def test_handler_runs_and_resumes(self, signal_image):
+        result = run_native(Process(signal_image))
+        assert int.from_bytes(result.output, "little") == 4
+        assert result.exit_code == 0
+        assert result.events["signals_delivered"] == 4
+
+    def test_no_handler_no_delivery(self):
+        src = """
+int main() {
+    int i;
+    alarm(50);
+    for (i = 0; i < 500; i++) { }
+    print(i);
+    return 0;
+}
+"""
+        result = run_native(Process(compile_source(src)))
+        assert result.events.get("signals_delivered", 0) == 0
+        assert int.from_bytes(result.output, "little") == 500
+
+
+class TestRuntimeSignals:
+    def test_intercepted_and_transparent_output(self, signal_image):
+        native = run_native(Process(signal_image))
+        result = DynamoRIO(
+            Process(signal_image), options=RuntimeOptions.with_traces()
+        ).run()
+        # the observable contract: same signal count, same output
+        assert result.output == native.output
+        assert result.events["signals_delivered"] == 4
+
+    def test_handler_code_runs_under_the_cache(self, signal_image):
+        """The interception claim: handler code is translated like all
+        other application code, never run natively."""
+        dr = DynamoRIO(Process(signal_image), options=RuntimeOptions.with_traces())
+        dr.run()
+        handler_addr = signal_image.symbol("fn_on_alarm")
+        assert dr.current_thread.lookup_fragment(handler_addr) is not None
+
+    def test_interrupted_pc_is_application_address(self, signal_image):
+        """Transparency of delivery: the pc pushed for the handler is an
+        original application address, never a code-cache address."""
+        dr = DynamoRIO(Process(signal_image), options=RuntimeOptions.with_traces())
+        observed = []
+
+        original = dr._deliver_signal
+
+        def spy(thread, tag):
+            observed.append(tag)
+            return original(thread, tag)
+
+        dr._deliver_signal = spy
+        dr.run()
+        code = dr.memory.region("app_code")
+        cache = dr.memory.region("code_cache")
+        assert observed
+        for tag in observed:
+            assert code.contains(tag)
+            assert not cache.contains(tag)
+
+    def test_works_under_bb_cache_only(self, signal_image):
+        result = DynamoRIO(
+            Process(signal_image), options=RuntimeOptions.bb_cache_only()
+        ).run()
+        assert int.from_bytes(result.output, "little") == 4
+
+
+class TestIret:
+    def test_iret_restores_flags(self):
+        """The handler may clobber eflags; iret restores the interrupted
+        context's flags from the stack."""
+        src = """
+int ticks;
+int on_alarm() {
+    int junk;
+    junk = 7 - 9;          /* clobbers flags */
+    ticks++;
+    sigreturn;
+    return 0;
+}
+int main() {
+    int i; int odd;
+    sighandler(&on_alarm);
+    alarm(100);
+    odd = 0;
+    for (i = 0; i < 4000; i++) {
+        if (i & 1) { odd++; }
+    }
+    print(odd);
+    print(ticks);
+    return 0;
+}
+"""
+        image = compile_source(src)
+        native = run_native(Process(image))
+        values = [
+            int.from_bytes(native.output[i : i + 4], "little")
+            for i in range(0, len(native.output), 4)
+        ]
+        assert values[0] == 2000  # flag-dependent loop unharmed
+        assert values[1] == 1
+        under = DynamoRIO(Process(image), options=RuntimeOptions.with_traces()).run()
+        dr_values = [
+            int.from_bytes(under.output[i : i + 4], "little")
+            for i in range(0, len(under.output), 4)
+        ]
+        assert dr_values == values

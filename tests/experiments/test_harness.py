@@ -1,0 +1,103 @@
+"""Experiment harness tests."""
+
+import pytest
+
+from repro.core import RuntimeOptions
+from repro.experiments.harness import (
+    Config,
+    NATIVE,
+    geometric_mean,
+    measure,
+    normalized_time,
+)
+from repro.machine.cost import Family
+
+
+class TestMeasure:
+    def test_native_measure(self):
+        m = measure("vpr", 1, NATIVE)
+        assert m["cycles"] > 0
+        assert m["output"]
+
+    def test_memoized(self):
+        a = measure("vpr", 1, NATIVE)
+        b = measure("vpr", 1, NATIVE)
+        assert a is b
+
+    def test_config_key_distinguishes(self):
+        a = measure("vpr", 1, Config("bb", RuntimeOptions.bb_cache_only))
+        b = measure("vpr", 1, Config("traces", RuntimeOptions.with_traces))
+        assert a["cycles"] != b["cycles"]
+
+    def test_multi_run_benchmark_sums_runs(self):
+        from repro.workloads import benchmark
+
+        runs = benchmark("gcc").runs
+        assert runs > 1
+        single = measure("vpr", 1, NATIVE)
+        multi = measure("gcc", 1, NATIVE)
+        # multi-run cycles are the sum over `runs` executions
+        assert multi["cycles"] > 0
+
+    def test_family_in_cache_key(self):
+        p4 = measure("vpr", 1, Config("fam", family=Family.PENTIUM_IV))
+        p3 = measure("vpr", 1, Config("fam", family=Family.PENTIUM_III))
+        assert p4 is not p3
+
+
+class TestNormalizedTime:
+    def test_base_runtime_above_native(self):
+        value = normalized_time("vpr", 1, Config("traces"))
+        assert 0.9 < value < 5.0
+
+    def test_transparency_enforced(self):
+        # normalized_time raises if outputs differ; with correct
+        # runtimes it must simply succeed
+        normalized_time("gap", 1, Config("bb", RuntimeOptions.bb_cache_only))
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(geometric_mean([]))
+
+
+class TestTable1Module:
+    def test_rows_cover_table(self):
+        from repro.experiments import table1
+
+        labels = [label for label, _ in table1.ROWS]
+        assert labels == list(table1.PAPER)
+
+
+class TestTable2Module:
+    def test_collect_blocks(self):
+        from repro.experiments import table2
+
+        blocks = table2.collect_blocks("test", limit=50)
+        assert len(blocks) == 50
+        for pc, raw in blocks:
+            assert len(raw) >= 1
+
+    def test_process_levels_roundtrip(self):
+        from repro.experiments import table2
+
+        blocks = table2.collect_blocks("test", limit=20)
+        for level in range(5):
+            for pc, raw in blocks:
+                il = table2.process_block_at_level(raw, pc, level)
+                assert il.instr_count() >= 1
+
+    def test_memory_monotone_until_raw_dropped(self):
+        from repro.experiments import table2
+
+        results = table2.run("test", repeats=1, limit=60)
+        memories = [results[level][1] for level in range(5)]
+        assert memories[0] < memories[1] <= memories[2] <= memories[3]

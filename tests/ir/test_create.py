@@ -1,0 +1,80 @@
+from repro.ir import create
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    INSTR_CREATE_call,
+    INSTR_CREATE_inc,
+    INSTR_CREATE_mov,
+    INSTR_CREATE_push,
+    INSTR_CREATE_ret,
+    INSTR_CREATE_sub,
+    OPND_CREATE_INT8,
+    OPND_CREATE_MEM,
+    OPND_CREATE_PC,
+    OPND_CREATE_REG,
+    instr_create_raw,
+)
+from repro.isa.opcodes import Opcode, OP_INFO
+from repro.isa.registers import Reg
+from repro.ir.shapes import explicit_arity
+
+
+def test_macro_exists_for_every_opcode():
+    """A macro is provided for every instruction (paper Section 3.2)."""
+    for opcode, info in OP_INFO.items():
+        if info.name == "<label>":
+            continue
+        name = {"jmp*": "jmp_ind", "call*": "call_ind"}.get(info.name, info.name)
+        assert hasattr(create, "INSTR_CREATE_%s" % name), info.name
+
+
+def test_add_fills_implicit_sources():
+    i = INSTR_CREATE_add(OPND_CREATE_REG(Reg.EAX), OPND_CREATE_INT8(1))
+    assert i.opcode == Opcode.ADD
+    # binary shape: srcs = [src, dst], dsts = [dst]
+    assert i.num_srcs() == 2 and i.num_dsts() == 1
+    assert i.src(1) == OPND_CREATE_REG(Reg.EAX)
+
+
+def test_paper_figure3_creation_pattern():
+    """The exact creation pattern from the inc2add client (Figure 3)."""
+    inc = INSTR_CREATE_inc(OPND_CREATE_REG(Reg.ECX))
+    replacement = INSTR_CREATE_add(inc.dst(0), OPND_CREATE_INT8(1))
+    replacement.set_prefixes(inc.prefixes)
+    assert replacement.opcode == Opcode.ADD
+    assert replacement.dst(0) == inc.dst(0)
+
+
+def test_push_implicit_esp():
+    i = INSTR_CREATE_push(OPND_CREATE_REG(Reg.EBX))
+    assert any(op.is_reg() and op.reg == Reg.ESP for op in i.srcs)
+    assert any(op.is_reg() and op.reg == Reg.ESP for op in i.dsts)
+
+
+def test_call_and_ret_touch_stack():
+    call = INSTR_CREATE_call(OPND_CREATE_PC(0x100))
+    assert call.writes_memory()
+    ret = INSTR_CREATE_ret()
+    assert ret.reads_memory()
+    assert ret.uses_reg(Reg.ESP)
+
+
+def test_raw_creation_bypass():
+    i = instr_create_raw(Opcode.SUB, OPND_CREATE_REG(Reg.ESP), OPND_CREATE_INT8(8))
+    assert i.opcode == Opcode.SUB
+    assert i.encode() == INSTR_CREATE_sub(
+        OPND_CREATE_REG(Reg.ESP), OPND_CREATE_INT8(8)
+    ).encode()
+
+
+def test_mov_store_form():
+    i = INSTR_CREATE_mov(
+        OPND_CREATE_MEM(base=Reg.EBP, disp=-4), OPND_CREATE_REG(Reg.EAX)
+    )
+    assert i.writes_memory() and not i.reads_memory()
+
+
+def test_arities_match_shapes():
+    for opcode, info in OP_INFO.items():
+        if info.name == "<label>":
+            continue
+        assert explicit_arity(opcode) in (0, 1, 2)

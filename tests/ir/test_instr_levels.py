@@ -1,0 +1,184 @@
+"""Tests for the five-level adaptive instruction representation."""
+
+import pytest
+
+from repro.ir import LEVEL_0, LEVEL_1, LEVEL_2, LEVEL_3, LEVEL_4, Instr
+from repro.ir.instr import BundleError
+from repro.isa.eflags import EFLAGS_WRITE_ALL, EFLAGS_WRITE_CF
+from repro.isa.encoder import encode_instr
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import OPND_IMM8, OPND_MEM, OPND_REG, OPND_PC as OPND_CREATE_PC
+from repro.isa.registers import Reg
+
+# Paper Figure 2 byte sequence: lea/mov/sub/movzx/shl/cmp/jnl.
+FIGURE2 = bytes.fromhex("8d34018b460c2b461c0fb74e08c1e1073bc10f8da20a0000")
+
+
+class TestLevel0:
+    def test_bundle_holds_series(self):
+        b = Instr.bundle(FIGURE2, pc=0x1000)
+        assert b.level == LEVEL_0
+        assert b.is_bundle
+        assert b.raw == FIGURE2
+        assert b.length == len(FIGURE2)
+
+    def test_split_finds_boundaries(self):
+        b = Instr.bundle(FIGURE2, pc=0x1000)
+        pieces = b.split()
+        assert [len(p.raw) for p in pieces] == [3, 3, 3, 4, 3, 2, 6]
+        assert all(p.level == LEVEL_1 for p in pieces)
+        assert pieces[0].raw_pc == 0x1000
+        assert pieces[1].raw_pc == 0x1003
+
+    def test_multi_instruction_bundle_rejects_opcode_query(self):
+        b = Instr.bundle(FIGURE2, pc=0)
+        with pytest.raises(BundleError):
+            b.opcode
+
+    def test_single_instruction_bundle_promotes_in_place(self):
+        b = Instr.bundle(FIGURE2[:3], pc=0)
+        assert b.opcode == Opcode.LEA  # implicit promotion
+
+    def test_encode_is_byte_copy(self):
+        b = Instr.bundle(FIGURE2, pc=0)
+        assert b.encode() == FIGURE2
+
+
+class TestLevelTransitions:
+    def test_raw_to_level2_on_opcode_query(self):
+        i = Instr.from_raw(FIGURE2[6:9], pc=0x1006)  # sub
+        assert i.level == LEVEL_1
+        assert i.opcode == Opcode.SUB
+        assert i.level == LEVEL_2
+        assert i.eflags == EFLAGS_WRITE_ALL
+
+    def test_level2_to_level3_on_operand_query(self):
+        i = Instr.from_raw(FIGURE2[3:6], pc=0x1003)  # mov eax, [esi+0xc]
+        i.opcode
+        assert i.level == LEVEL_2
+        assert i.dst(0) == OPND_REG(Reg.EAX)
+        assert i.level == LEVEL_3
+        assert i.raw_bits_valid()  # level 3 keeps raw bits
+
+    def test_mutation_moves_to_level4(self):
+        i = Instr.from_raw(FIGURE2[3:6], pc=0x1003)
+        i.set_dst(0, OPND_REG(Reg.EBX))
+        assert i.level == LEVEL_4
+        assert not i.raw_bits_valid()
+
+    def test_skipping_levels_is_allowed(self):
+        # Level 1 straight to mutation (Level 4) with no explicit steps.
+        i = Instr.from_raw(FIGURE2[6:9], pc=0)
+        i.set_opcode(Opcode.ADD)
+        assert i.level == LEVEL_4
+        assert i.opcode == Opcode.ADD
+        assert i.eflags & EFLAGS_WRITE_CF
+
+    def test_created_instruction_is_level4(self):
+        i = Instr.create(Opcode.ADD, OPND_REG(Reg.EAX), OPND_IMM8(1))
+        assert i.level == LEVEL_4
+        assert not i.raw_bits_valid()
+
+
+class TestEncoding:
+    def test_level3_encode_copies_raw(self):
+        raw = FIGURE2[9:13]  # movzx
+        i = Instr.from_raw(raw, pc=0x1009)
+        i.srcs  # decode fully
+        assert i.level == LEVEL_3
+        assert i.encode() == raw
+
+    def test_level4_encode_rebuilds(self):
+        i = Instr.create(Opcode.ADD, OPND_REG(Reg.EAX), OPND_IMM8(1))
+        assert i.encode() == encode_instr(
+            Opcode.ADD, (OPND_REG(Reg.EAX), OPND_IMM8(1))
+        )
+
+    def test_moved_branch_is_reencoded(self):
+        # jnl at 0x1012 targeting 0x1aba; placed at a new pc it must be
+        # re-encoded to preserve the absolute target.
+        raw = FIGURE2[18:]
+        i = Instr.from_raw(raw, pc=0x1012)
+        target = 0x1012 + 6 + 0xAA2
+        moved = i.encode(pc=0x2000)
+        j = Instr.from_raw(moved, pc=0x2000)
+        assert j.opcode == Opcode.JNL
+        assert j.target.pc == target
+
+    def test_unmoved_branch_copies_raw(self):
+        raw = FIGURE2[18:]
+        i = Instr.from_raw(raw, pc=0x1012)
+        assert i.encode(pc=0x1012) == raw
+
+    def test_non_cti_is_not_reencoded_when_moved(self):
+        raw = FIGURE2[3:6]
+        i = Instr.from_raw(raw, pc=0x1003)
+        assert i.encode(pc=0x9999) == raw
+
+
+class TestQueries:
+    def test_reads_writes_memory(self):
+        load = Instr.create(Opcode.MOV, OPND_REG(Reg.EAX), OPND_MEM(base=Reg.EBP, disp=-8))
+        store = Instr.create(Opcode.MOV, OPND_MEM(base=Reg.EBP, disp=-8), OPND_REG(Reg.EAX))
+        lea = Instr.create(Opcode.LEA, OPND_REG(Reg.EAX), OPND_MEM(base=Reg.EBP, disp=-8))
+        assert load.reads_memory() and not load.writes_memory()
+        assert store.writes_memory() and not store.reads_memory()
+        assert not lea.reads_memory() and not lea.writes_memory()
+
+    def test_push_has_implicit_esp(self):
+        push = Instr.create(Opcode.PUSH, OPND_REG(Reg.EAX))
+        assert push.uses_reg(Reg.ESP)
+        assert push.writes_memory()
+
+    def test_div_has_implicit_eax_edx(self):
+        div = Instr.create(Opcode.DIV, OPND_REG(Reg.EBX))
+        assert div.uses_reg(Reg.EAX)
+        assert div.uses_reg(Reg.EDX)
+
+    def test_cti_classification(self):
+        assert Instr.create(Opcode.RET).is_ret()
+        assert Instr.create(Opcode.RET).is_indirect_branch()
+        jmp = Instr.create(Opcode.JMP, OPND_CREATE_PC(0x100))
+        assert jmp.is_cti() and not jmp.is_cond_branch()
+
+    def test_target_accessor(self):
+        jmp = Instr.create(Opcode.JMP, OPND_CREATE_PC(0x100))
+        assert jmp.target.pc == 0x100
+        jmp.set_target(OPND_CREATE_PC(0x200))
+        assert jmp.target.pc == 0x200
+
+    def test_target_on_non_cti_raises(self):
+        with pytest.raises(ValueError):
+            Instr.create(Opcode.NOP).target
+
+
+class TestAnnotations:
+    def test_note_field(self):
+        i = Instr.create(Opcode.NOP)
+        assert i.note is None
+        i.note = {"client": "data"}
+        assert i.note == {"client": "data"}
+
+    def test_copy_preserves_fields_but_unlinks(self):
+        i = Instr.from_raw(FIGURE2[:3], pc=0x10)
+        i.note = "x"
+        c = i.copy()
+        assert c.raw == i.raw and c.note == "x"
+        assert c.prev is None and c.next is None
+
+
+class TestMemoryFootprint:
+    def test_footprint_grows_with_level(self):
+        sizes = []
+        for level in range(5):
+            i = Instr.from_raw(FIGURE2[9:13], pc=0)
+            if level >= 2:
+                i.opcode
+            if level >= 3:
+                i.srcs
+            if level == 4:
+                i.set_dst(0, OPND_REG(Reg.EDX))
+            sizes.append(i.memory_footprint())
+        # Monotone non-decreasing until raw bits are dropped at level 4.
+        assert sizes[0] <= sizes[1] <= sizes[2] <= sizes[3]
+        assert sizes[3] > sizes[1]

@@ -1,0 +1,169 @@
+import pytest
+
+from repro.ir import Instr, InstrList
+from repro.ir.instr import LabelRef
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    INSTR_CREATE_jmp,
+    INSTR_CREATE_jnz,
+    INSTR_CREATE_nop,
+    OPND_CREATE_INT8,
+    OPND_CREATE_PC,
+    OPND_CREATE_REG,
+)
+from repro.isa.decoder import decode_full
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+
+FIGURE2 = bytes.fromhex("8d34018b460c2b461c0fb74e08c1e1073bc10f8da20a0000")
+
+
+def nops(n):
+    return [INSTR_CREATE_nop() for _ in range(n)]
+
+
+class TestLinkedList:
+    def test_append_iter(self):
+        il = InstrList(nops(3))
+        assert len(il) == 3
+        assert list(il)[0] is il.first()
+        assert list(il)[-1] is il.last()
+
+    def test_prepend(self):
+        il = InstrList(nops(2))
+        head = INSTR_CREATE_nop()
+        il.prepend(head)
+        assert il.first() is head
+        assert len(il) == 3
+
+    def test_insert_before_after(self):
+        a, b, c = nops(3)
+        il = InstrList([a, c])
+        il.insert_after(a, b)
+        assert [x for x in il] == [a, b, c]
+        d = INSTR_CREATE_nop()
+        il.insert_before(a, d)
+        assert il.first() is d
+
+    def test_remove_middle_and_ends(self):
+        a, b, c = nops(3)
+        il = InstrList([a, b, c])
+        il.remove(b)
+        assert [x for x in il] == [a, c]
+        il.remove(a)
+        assert il.first() is c and il.last() is c
+        il.remove(c)
+        assert len(il) == 0 and not il
+
+    def test_replace(self):
+        a, b, c = nops(3)
+        il = InstrList([a, b, c])
+        new = INSTR_CREATE_add(OPND_CREATE_REG(Reg.EAX), OPND_CREATE_INT8(1))
+        b.is_exit_cti = True
+        il.replace(b, new)
+        assert [x for x in il] == [a, new, c]
+        assert new.is_exit_cti  # bookkeeping carried over
+
+    def test_double_link_rejected(self):
+        a = INSTR_CREATE_nop()
+        il = InstrList([a])
+        il2 = InstrList()
+        with pytest.raises(ValueError):
+            il2.append(a)
+
+    def test_removal_during_iteration_is_safe(self):
+        il = InstrList(nops(5))
+        for node in il:
+            il.remove(node)
+        assert len(il) == 0
+
+
+class TestBundles:
+    def test_from_code_level0_is_single_bundle(self):
+        il = InstrList.from_code(FIGURE2, pc=0x1000, level=0)
+        assert len(il) == 1
+        assert il.first().is_bundle
+
+    def test_instr_count_scans_bundles(self):
+        il = InstrList.from_code(FIGURE2, pc=0x1000, level=0)
+        assert il.instr_count() == 7
+
+    def test_expand_bundles(self):
+        il = InstrList.from_code(FIGURE2, pc=0x1000, level=0)
+        il.expand_bundles()
+        assert len(il) == 7
+        assert il.instr_count() == 7
+
+    def test_from_code_level1(self):
+        il = InstrList.from_code(FIGURE2, pc=0x1000, level=1)
+        assert len(il) == 7
+        assert all(i.level == 1 for i in il)
+
+    def test_decode_all_reaches_level3_raw_valid(self):
+        il = InstrList.from_code(FIGURE2, pc=0x1000, level=0)
+        il.decode_all()
+        assert all(i.level == 3 for i in il)
+        assert all(i.raw_bits_valid() for i in il)
+
+
+class TestEncode:
+    def test_roundtrip_preserves_bytes(self):
+        il = InstrList.from_code(FIGURE2, pc=0x1000, level=0)
+        il.decode_all()
+        # jnl must be re-encoded (the list moves to pc 0x5000); everything
+        # else is a raw copy.  Re-decode to verify semantics.
+        out = il.encode(start_pc=0x5000)
+        d = decode_full(out, len(out) - 6, pc=0x5000 + len(out) - 6)
+        assert d.opcode == Opcode.JNL
+        assert d.operands[0].pc == 0x1012 + 6 + 0xAA2
+
+    def test_labels_resolve(self):
+        il = InstrList()
+        label = Instr.label()
+        jmp = INSTR_CREATE_jmp(OPND_CREATE_PC(0))
+        jmp.set_target(LabelRef(label))
+        il.append(jmp)
+        il.extend(nops(3))
+        il.append(label)
+        il.append(INSTR_CREATE_nop())
+        raw = il.encode(start_pc=0x100)
+        # jmp is rel32 (5 bytes), then 3 nops; label lands at +8.
+        d = decode_full(raw, 0, pc=0x100)
+        assert d.opcode == Opcode.JMP
+        assert d.operands[0].pc == 0x108
+
+    def test_unresolved_label_raises(self):
+        il = InstrList()
+        foreign_label = Instr.label()
+        jmp = INSTR_CREATE_jmp(OPND_CREATE_PC(0))
+        jmp.set_target(LabelRef(foreign_label))
+        il.append(jmp)
+        with pytest.raises(ValueError):
+            il.encode(start_pc=0)
+
+    def test_labels_encode_to_nothing(self):
+        il = InstrList([Instr.label(), INSTR_CREATE_nop(), Instr.label()])
+        assert il.encode(start_pc=0) == b"\x90"
+
+    def test_conditional_branch_to_label(self):
+        il = InstrList()
+        label = Instr.label()
+        jnz = INSTR_CREATE_jnz(OPND_CREATE_PC(0))
+        jnz.set_target(LabelRef(label))
+        il.append(jnz)
+        il.append(INSTR_CREATE_nop())
+        il.append(label)
+        raw = il.encode(start_pc=0)
+        d = decode_full(raw, 0, pc=0)
+        assert d.opcode == Opcode.JNZ
+        assert d.operands[0].pc == len(raw)  # label at end
+
+
+class TestLinearity:
+    def test_labels_targeted(self):
+        il = InstrList()
+        label = Instr.label()
+        jnz = INSTR_CREATE_jnz(OPND_CREATE_PC(0))
+        jnz.set_target(LabelRef(label))
+        il.extend([jnz, INSTR_CREATE_nop(), label])
+        assert il.labels_targeted() == {label}

@@ -1,0 +1,103 @@
+"""Stateful property test: InstrList linkage invariants.
+
+Random sequences of list operations must preserve the doubly-linked
+structure: forward and backward walks agree, the count matches, and
+every node's owner field points at the list.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.ir.create import INSTR_CREATE_nop
+from repro.ir.instrlist import InstrList
+
+
+class InstrListMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.il = InstrList()
+        self.model = []  # the reference list of nodes
+
+    # ----------------------------------------------------------------- rules
+
+    @rule()
+    def append(self):
+        node = INSTR_CREATE_nop()
+        self.il.append(node)
+        self.model.append(node)
+
+    @rule()
+    def prepend(self):
+        node = INSTR_CREATE_nop()
+        self.il.prepend(node)
+        self.model.insert(0, node)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def insert_after(self, data):
+        where = data.draw(st.sampled_from(self.model))
+        node = INSTR_CREATE_nop()
+        self.il.insert_after(where, node)
+        self.model.insert(self.model.index(where) + 1, node)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def insert_before(self, data):
+        where = data.draw(st.sampled_from(self.model))
+        node = INSTR_CREATE_nop()
+        self.il.insert_before(where, node)
+        self.model.insert(self.model.index(where), node)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        node = data.draw(st.sampled_from(self.model))
+        self.il.remove(node)
+        self.model.remove(node)
+        assert node.owner is None
+        assert node.prev is None and node.next is None
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def replace(self, data):
+        old = data.draw(st.sampled_from(self.model))
+        new = INSTR_CREATE_nop()
+        self.il.replace(old, new)
+        self.model[self.model.index(old)] = new
+
+    # ------------------------------------------------------------ invariants
+
+    @invariant()
+    def forward_walk_matches_model(self):
+        assert list(self.il) == self.model
+
+    @invariant()
+    def backward_walk_matches_model(self):
+        nodes = []
+        node = self.il.last()
+        while node is not None:
+            nodes.append(node)
+            node = node.prev
+        assert nodes == list(reversed(self.model))
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.il) == len(self.model)
+
+    @invariant()
+    def owners_consistent(self):
+        for node in self.model:
+            assert node.owner is self.il
+
+    @invariant()
+    def endpoints_consistent(self):
+        if self.model:
+            assert self.il.first() is self.model[0]
+            assert self.il.last() is self.model[-1]
+            assert self.il.first().prev is None
+            assert self.il.last().next is None
+        else:
+            assert self.il.first() is None and self.il.last() is None
+
+
+TestInstrListStateful = InstrListMachine.TestCase

@@ -1,0 +1,144 @@
+import pytest
+
+from repro.isa.decoder import (
+    decode_boundary,
+    decode_opcode,
+    decode_full,
+    DecodeError,
+)
+from repro.isa.eflags import EFLAGS_WRITE_ALL, EFLAGS_READ_SF, EFLAGS_READ_OF
+from repro.isa.encoder import encode_instr
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import OPND_REG, OPND_IMM8, OPND_MEM, OPND_PC, MemOperand
+from repro.isa.registers import Reg
+
+
+# The exact byte sequence from the paper's Figure 2.
+FIGURE2_BYTES = bytes.fromhex("8d34018b460c2b461c0fb74e08c1e1073bc10f8da20a0000")
+FIGURE2_OPCODES = [
+    Opcode.LEA,
+    Opcode.MOV,
+    Opcode.SUB,
+    Opcode.MOVZX,
+    Opcode.SHL,
+    Opcode.CMP,
+    Opcode.JNL,
+]
+FIGURE2_LENGTHS = [3, 3, 3, 4, 3, 2, 6]
+
+
+def test_boundary_scan_figure2():
+    off = 0
+    lengths = []
+    while off < len(FIGURE2_BYTES):
+        n = decode_boundary(FIGURE2_BYTES, off)
+        lengths.append(n)
+        off += n
+    assert lengths == FIGURE2_LENGTHS
+
+
+def test_level2_decode_figure2():
+    off = 0
+    opcodes = []
+    for _ in FIGURE2_OPCODES:
+        opc, eflags, n = decode_opcode(FIGURE2_BYTES, off)
+        opcodes.append(opc)
+        off += n
+    assert opcodes == FIGURE2_OPCODES
+
+
+def test_level2_eflags_figure2():
+    # lea: no flags; sub: WCPAZSO; jnl: RSO
+    opc, eflags, n = decode_opcode(FIGURE2_BYTES, 0)
+    assert opc == Opcode.LEA and eflags == 0
+    opc, eflags, _ = decode_opcode(FIGURE2_BYTES, 6)
+    assert opc == Opcode.SUB and eflags == EFLAGS_WRITE_ALL
+    opc, eflags, _ = decode_opcode(FIGURE2_BYTES, 18)
+    assert opc == Opcode.JNL and eflags == EFLAGS_READ_SF | EFLAGS_READ_OF
+
+
+def test_full_decode_figure2_operands():
+    d = decode_full(FIGURE2_BYTES, 0)
+    assert d.opcode == Opcode.LEA
+    assert d.operands[0] == OPND_REG(Reg.ESI)
+    assert d.operands[1] == MemOperand(base=Reg.ECX, index=Reg.EAX, scale=1)
+
+    d = decode_full(FIGURE2_BYTES, 3)
+    assert d.opcode == Opcode.MOV
+    assert d.operands == (OPND_REG(Reg.EAX), MemOperand(base=Reg.ESI, disp=0xC))
+
+
+def test_full_decode_branch_target_uses_pc():
+    # Place the Figure 2 jnl at a non-zero pc and check the absolute target.
+    jnl = FIGURE2_BYTES[18:]
+    d = decode_full(jnl, 0, pc=0x1000)
+    assert d.opcode == Opcode.JNL
+    assert d.operands[0] == OPND_PC(0x1000 + 6 + 0xAA2)
+
+
+def test_group_opcode_resolution():
+    # 0xF7 is a group byte: /2 not, /3 neg, /6 div
+    for opc, ops in [
+        (Opcode.NOT, (OPND_REG(Reg.EDX),)),
+        (Opcode.NEG, (OPND_REG(Reg.EDX),)),
+        (Opcode.DIV, (OPND_REG(Reg.EBX),)),
+    ]:
+        raw = encode_instr(opc, ops)
+        assert raw[0] == 0xF7
+        got, _, _ = decode_opcode(raw, 0)
+        assert got == opc
+
+
+def test_prefixes_decoded():
+    raw = encode_instr(Opcode.NOP, (), prefixes=b"\x66")
+    d = decode_full(raw, 0)
+    assert d.prefixes == (0x66,)
+    assert d.length == 2
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(DecodeError):
+        decode_boundary(b"\x06", 0)
+
+
+def test_truncated_instruction_raises():
+    raw = encode_instr(Opcode.MOV, (OPND_REG(Reg.EAX), OPND_MEM(base=Reg.ESI, disp=0x1234)))
+    with pytest.raises(DecodeError):
+        decode_full(raw[:3], 0)
+
+
+def test_truncated_at_end_of_buffer_raises():
+    with pytest.raises(DecodeError):
+        decode_boundary(b"", 0)
+
+
+def test_too_many_prefixes_raises():
+    with pytest.raises(DecodeError):
+        decode_boundary(b"\x66" * 6 + b"\x90", 0)
+
+
+def test_invalid_group_digit_raises():
+    # 0xF7 with /5 is not defined in RIO-32
+    with pytest.raises(DecodeError):
+        decode_opcode(bytes([0xF7, (0b11 << 6) | (5 << 3) | 0]), 0)
+
+
+def test_decode_mem_sizes_from_opcode():
+    raw = encode_instr(
+        Opcode.MOVZX, (OPND_REG(Reg.EAX), OPND_MEM(base=Reg.ESI, size=1))
+    )
+    d = decode_full(raw, 0)
+    assert d.operands[1].size == 1
+
+    raw = encode_instr(
+        Opcode.MOVB_STORE, (OPND_MEM(base=Reg.EDI, size=1), OPND_REG(Reg.ECX))
+    )
+    d = decode_full(raw, 0)
+    assert d.operands[0].size == 1
+
+
+def test_shift_by_cl_decodes_implicit_ecx():
+    raw = encode_instr(Opcode.SHL, (OPND_REG(Reg.EDX), OPND_REG(Reg.ECX)))
+    d = decode_full(raw, 0)
+    assert d.opcode == Opcode.SHL
+    assert d.operands == (OPND_REG(Reg.EDX), OPND_REG(Reg.ECX))

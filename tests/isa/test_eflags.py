@@ -1,0 +1,41 @@
+from repro.isa.eflags import (
+    EFLAGS_READ_ALL,
+    EFLAGS_READ_CF,
+    EFLAGS_READ_SF,
+    EFLAGS_READ_OF,
+    EFLAGS_WRITE_ALL,
+    EFLAGS_WRITE_CF,
+    EFLAGS_WRITE_ZF,
+    eflags_to_string,
+    reads_to_writes,
+    writes_to_reads,
+    FLAG_BITS,
+)
+
+
+def test_read_and_write_masks_disjoint():
+    assert EFLAGS_READ_ALL & EFLAGS_WRITE_ALL == 0
+
+
+def test_flag_bit_positions_match_ia32():
+    # CF=bit0, PF=bit2, AF=bit4, ZF=bit6, SF=bit7, OF=bit11
+    assert [b.bit_length() - 1 for b in FLAG_BITS] == [0, 2, 4, 6, 7, 11]
+
+
+def test_reads_to_writes_roundtrip():
+    assert reads_to_writes(EFLAGS_READ_CF) == EFLAGS_WRITE_CF
+    assert writes_to_reads(EFLAGS_WRITE_CF) == EFLAGS_READ_CF
+    assert writes_to_reads(reads_to_writes(EFLAGS_READ_ALL)) == EFLAGS_READ_ALL
+
+
+def test_eflags_to_string_paper_notation():
+    # cmp writes all six flags: "WCPAZSO" in the paper's Figure 2
+    assert eflags_to_string(EFLAGS_WRITE_ALL) == "WCPAZSO"
+    # jnl reads SF and OF: "RSO"
+    assert eflags_to_string(EFLAGS_READ_SF | EFLAGS_READ_OF) == "RSO"
+    assert eflags_to_string(0) == "-"
+
+
+def test_eflags_to_string_mixed():
+    s = eflags_to_string(EFLAGS_WRITE_ZF | EFLAGS_READ_CF)
+    assert s == "WZ RC"

@@ -1,0 +1,171 @@
+import pytest
+
+from repro.isa.encoder import encode_instr, encoded_length, EncodeError
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import (
+    OPND_REG,
+    OPND_IMM8,
+    OPND_IMM32,
+    OPND_MEM,
+    OPND_PC,
+)
+from repro.isa.registers import Reg
+
+
+class TestCompactForms:
+    """The paper's Section 4.2 rests on the inc/add length asymmetry."""
+
+    def test_inc_reg_is_one_byte(self):
+        assert encode_instr(Opcode.INC, (OPND_REG(Reg.EAX),)) == b"\x40"
+        assert encode_instr(Opcode.INC, (OPND_REG(Reg.EDI),)) == b"\x47"
+
+    def test_dec_reg_is_one_byte(self):
+        assert encode_instr(Opcode.DEC, (OPND_REG(Reg.EAX),)) == b"\x48"
+
+    def test_add_one_is_three_bytes(self):
+        raw = encode_instr(Opcode.ADD, (OPND_REG(Reg.EAX), OPND_IMM8(1)))
+        assert len(raw) == 3  # 83 /0 ib
+
+    def test_push_pop_reg_one_byte(self):
+        assert encode_instr(Opcode.PUSH, (OPND_REG(Reg.EBP),)) == b"\x55"
+        assert encode_instr(Opcode.POP, (OPND_REG(Reg.EBP),)) == b"\x5d"
+
+    def test_mov_reg_imm_uses_compact_form(self):
+        raw = encode_instr(Opcode.MOV, (OPND_REG(Reg.EBX), OPND_IMM32(7)))
+        assert raw == b"\xbb\x07\x00\x00\x00"
+
+    def test_imm8_chosen_over_imm32(self):
+        short = encode_instr(Opcode.SUB, (OPND_REG(Reg.ECX), OPND_IMM32(4)))
+        long_ = encode_instr(Opcode.SUB, (OPND_REG(Reg.ECX), OPND_IMM32(0x1234)))
+        assert len(short) == 3
+        assert len(long_) == 6
+
+    def test_negative_imm_fits_in_byte(self):
+        raw = encode_instr(Opcode.ADD, (OPND_REG(Reg.ESP), OPND_IMM32(-4)))
+        assert len(raw) == 3
+
+
+class TestModRM:
+    def test_reg_reg(self):
+        # cmp eax, ecx: 3b /r with modrm 11 000 001
+        raw = encode_instr(Opcode.CMP, (OPND_REG(Reg.EAX), OPND_REG(Reg.ECX)))
+        assert raw == b"\x3b\xc1"  # matches the paper's Figure 2 bytes
+
+    def test_base_disp8(self):
+        # mov eax, [esi+0xc]: 8b 46 0c (paper Figure 2)
+        raw = encode_instr(
+            Opcode.MOV, (OPND_REG(Reg.EAX), OPND_MEM(base=Reg.ESI, disp=0xC))
+        )
+        assert raw == b"\x8b\x46\x0c"
+
+    def test_lea_base_index(self):
+        # lea esi, [ecx+eax*1]: 8d 34 01 (paper Figure 2)
+        raw = encode_instr(
+            Opcode.LEA,
+            (OPND_REG(Reg.ESI), OPND_MEM(base=Reg.ECX, index=Reg.EAX, scale=1)),
+        )
+        assert raw == b"\x8d\x34\x01"
+
+    def test_movzx_disp8(self):
+        # movzx ecx, word [esi+8]: 0f b7 4e 08 (paper Figure 2)
+        raw = encode_instr(
+            Opcode.MOVZX,
+            (OPND_REG(Reg.ECX), OPND_MEM(base=Reg.ESI, disp=8, size=2)),
+        )
+        assert raw == b"\x0f\xb7\x4e\x08"
+
+    def test_shl_imm(self):
+        # shl ecx, 7: c1 e1 07 (paper Figure 2)
+        raw = encode_instr(Opcode.SHL, (OPND_REG(Reg.ECX), OPND_IMM8(7)))
+        assert raw == b"\xc1\xe1\x07"
+
+    def test_esp_base_needs_sib(self):
+        raw = encode_instr(
+            Opcode.MOV, (OPND_REG(Reg.EAX), OPND_MEM(base=Reg.ESP, disp=4))
+        )
+        # 8b modrm(01 000 100) sib(00 100 100) disp8
+        assert raw == b"\x8b\x44\x24\x04"
+
+    def test_ebp_base_zero_disp_still_has_disp8(self):
+        raw = encode_instr(Opcode.MOV, (OPND_REG(Reg.EAX), OPND_MEM(base=Reg.EBP)))
+        assert raw == b"\x8b\x45\x00"
+
+    def test_absolute_disp32(self):
+        raw = encode_instr(Opcode.MOV, (OPND_REG(Reg.EAX), OPND_MEM(disp=0x1000)))
+        assert raw == b"\x8b\x05\x00\x10\x00\x00"
+
+    def test_index_no_base(self):
+        raw = encode_instr(
+            Opcode.MOV,
+            (OPND_REG(Reg.EAX), OPND_MEM(index=Reg.EBX, scale=4, disp=0x2000)),
+        )
+        # modrm 00 000 100, sib 10 011 101, disp32
+        assert raw == b"\x8b\x04\x9d\x00\x20\x00\x00"
+
+    def test_disp32_when_large(self):
+        raw = encode_instr(
+            Opcode.MOV, (OPND_REG(Reg.EAX), OPND_MEM(base=Reg.ESI, disp=0x1234))
+        )
+        assert len(raw) == 6
+
+
+class TestBranches:
+    def test_short_jump_backward(self):
+        raw = encode_instr(Opcode.JMP, (OPND_PC(0x100),), pc=0x100)
+        assert raw == b"\xeb\xfe"  # jump to self: rel8 = -2
+
+    def test_long_jump(self):
+        raw = encode_instr(Opcode.JMP, (OPND_PC(0x10000),), pc=0)
+        assert raw[0] == 0xE9 and len(raw) == 5
+
+    def test_jcc_short_and_long(self):
+        short = encode_instr(Opcode.JNZ, (OPND_PC(0x10),), pc=0)
+        long_ = encode_instr(Opcode.JNZ, (OPND_PC(0x10000),), pc=0)
+        assert len(short) == 2 and short[0] == 0x75
+        assert len(long_) == 6 and long_[:2] == b"\x0f\x85"
+
+    def test_jnl_long_matches_paper_bytes(self):
+        # paper Figure 2: 0f 8d a2 0a 00 00 = jnl +0xaa2
+        raw = encode_instr(Opcode.JNL, (OPND_PC(0xAA2 + 6),), pc=0)
+        assert raw == b"\x0f\x8d\xa2\x0a\x00\x00"
+
+    def test_call_is_always_rel32(self):
+        raw = encode_instr(Opcode.CALL, (OPND_PC(0x10),), pc=0)
+        assert raw[0] == 0xE8 and len(raw) == 5
+
+    def test_relative_requires_pc(self):
+        with pytest.raises(EncodeError):
+            encode_instr(Opcode.CALL, (OPND_PC(0x10),), pc=None)
+
+
+class TestPrefixes:
+    def test_prefix_bytes_prepended(self):
+        raw = encode_instr(Opcode.NOP, (), prefixes=b"\x66")
+        assert raw == b"\x66\x90"
+
+    def test_prefix_counts_toward_branch_length(self):
+        plain = encode_instr(Opcode.JMP, (OPND_PC(0x20),), pc=0)
+        prefixed = encode_instr(Opcode.JMP, (OPND_PC(0x20),), pc=0, prefixes=b"\x66")
+        # Same target: displacement differs by prefix length.
+        assert prefixed[-1] == plain[-1] - 1
+
+
+class TestErrors:
+    def test_no_template(self):
+        with pytest.raises(EncodeError):
+            encode_instr(Opcode.LEA, (OPND_REG(Reg.EAX), OPND_REG(Reg.EBX)))
+
+    def test_mem_to_mem_mov_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_instr(
+                Opcode.MOV,
+                (OPND_MEM(base=Reg.EAX), OPND_MEM(base=Reg.EBX)),
+            )
+
+    def test_label_encodes_to_nothing(self):
+        assert encode_instr(Opcode.LABEL, ()) == b""
+
+
+def test_encoded_length_matches_encoding():
+    ops = (OPND_REG(Reg.EAX), OPND_MEM(base=Reg.EBP, disp=-12))
+    assert encoded_length(Opcode.MOV, ops) == len(encode_instr(Opcode.MOV, ops))

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.isa.operands import (
+    RegOperand,
+    ImmOperand,
+    MemOperand,
+    PcOperand,
+    OPND_IMM8,
+    OPND_IMM32,
+)
+from repro.isa.registers import Reg
+
+
+class TestRegOperand:
+    def test_identity(self):
+        op = RegOperand(Reg.EAX)
+        assert op.is_reg() and not op.is_mem() and not op.is_imm()
+        assert op.reg == Reg.EAX
+
+    def test_equality_and_hash(self):
+        assert RegOperand(Reg.EBX) == RegOperand(3)
+        assert hash(RegOperand(Reg.EBX)) == hash(RegOperand(3))
+        assert RegOperand(Reg.EBX) != RegOperand(Reg.ECX)
+
+    def test_immutable(self):
+        op = RegOperand(Reg.EAX)
+        with pytest.raises(AttributeError):
+            op.reg = Reg.EBX
+
+    def test_uses_reg(self):
+        assert RegOperand(Reg.ESI).uses_reg(Reg.ESI)
+        assert not RegOperand(Reg.ESI).uses_reg(Reg.EDI)
+
+
+class TestImmOperand:
+    def test_sizes(self):
+        assert ImmOperand(1, size=1).size == 1
+        assert ImmOperand(1).size == 4
+        with pytest.raises(ValueError):
+            ImmOperand(1, size=2)
+
+    def test_fits_in_byte(self):
+        assert OPND_IMM32(127).fits_in_byte()
+        assert OPND_IMM32(-128).fits_in_byte()
+        assert not OPND_IMM32(128).fits_in_byte()
+        assert not OPND_IMM32(-129).fits_in_byte()
+
+    def test_fits_in_byte_handles_unsigned_wraparound(self):
+        # 0xFFFFFFFF is -1 as a signed 32-bit value
+        assert OPND_IMM32(0xFFFFFFFF).fits_in_byte()
+
+    def test_equality(self):
+        assert OPND_IMM8(5) != OPND_IMM32(5)  # size matters for encoding
+        assert OPND_IMM32(5) == ImmOperand(5, size=4)
+
+
+class TestMemOperand:
+    def test_defaults(self):
+        m = MemOperand(base=Reg.EBP, disp=-8)
+        assert m.base == Reg.EBP and m.index is None
+        assert m.scale == 1 and m.disp == -8 and m.size == 4
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            MemOperand(base=Reg.EAX, scale=3)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MemOperand(base=Reg.EAX, size=8)
+
+    def test_esp_cannot_be_index(self):
+        with pytest.raises(ValueError):
+            MemOperand(base=Reg.EAX, index=Reg.ESP)
+
+    def test_address_registers(self):
+        m = MemOperand(base=Reg.EBX, index=Reg.ECX, scale=4)
+        assert m.address_registers() == [Reg.EBX, Reg.ECX]
+        assert m.uses_reg(Reg.EBX) and m.uses_reg(Reg.ECX)
+        assert not m.uses_reg(Reg.EAX)
+
+    def test_equality_includes_size(self):
+        a = MemOperand(base=Reg.ESI, disp=8, size=4)
+        b = MemOperand(base=Reg.ESI, disp=8, size=2)
+        assert a != b
+
+
+class TestPcOperand:
+    def test_wraps_to_32_bits(self):
+        assert PcOperand(0x1_0000_0001).pc == 1
+
+    def test_equality(self):
+        assert PcOperand(0x400) == PcOperand(0x400)
+        assert PcOperand(0x400) != PcOperand(0x404)

@@ -1,0 +1,34 @@
+from repro.isa.registers import Reg, REG_NAMES, NUM_REGS, reg_from_name
+
+import pytest
+
+
+def test_register_numbering_matches_ia32():
+    assert Reg.EAX == 0
+    assert Reg.ECX == 1
+    assert Reg.EDX == 2
+    assert Reg.EBX == 3
+    assert Reg.ESP == 4
+    assert Reg.EBP == 5
+    assert Reg.ESI == 6
+    assert Reg.EDI == 7
+
+
+def test_num_regs():
+    assert NUM_REGS == 8
+    assert len(REG_NAMES) == 8
+
+
+def test_reg_from_name_roundtrip():
+    for reg, name in REG_NAMES.items():
+        assert reg_from_name(name) == reg
+
+
+def test_reg_from_name_accepts_percent_prefix():
+    assert reg_from_name("%eax") == Reg.EAX
+    assert reg_from_name("%ESP") == Reg.ESP
+
+
+def test_reg_from_name_unknown():
+    with pytest.raises(KeyError):
+        reg_from_name("r8")

@@ -1,0 +1,129 @@
+"""Property-based encode/decode roundtrip over the whole ISA."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.decoder import decode_boundary, decode_full, decode_opcode
+from repro.isa.encoder import encode_instr, EncodeError
+from repro.isa.opcodes import Opcode, JCC_CONDITION
+from repro.isa.operands import (
+    ImmOperand,
+    MemOperand,
+    PcOperand,
+    RegOperand,
+)
+from repro.isa.registers import Reg
+
+
+regs = st.sampled_from(list(Reg))
+non_esp = st.sampled_from([r for r in Reg if r != Reg.ESP])
+imms = st.builds(
+    ImmOperand,
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    size=st.sampled_from([1, 4]).flatmap(lambda s: st.just(s)),
+)
+
+
+def mem_operands(size=4):
+    return st.builds(
+        MemOperand,
+        base=st.one_of(st.none(), regs),
+        index=st.one_of(st.none(), non_esp),
+        scale=st.sampled_from([1, 2, 4, 8]),
+        disp=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        size=st.just(size),
+    )
+
+
+def small_imm():
+    return st.integers(min_value=-(2**31), max_value=2**31 - 1).map(
+        lambda v: ImmOperand(v, size=4)
+    )
+
+
+rm4 = st.one_of(regs.map(RegOperand), mem_operands(4))
+
+binary_ops = st.sampled_from(
+    [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.CMP]
+)
+unary_ops = st.sampled_from([Opcode.INC, Opcode.DEC, Opcode.NEG, Opcode.NOT, Opcode.DIV])
+fp_ops = st.sampled_from([Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV])
+shift_ops = st.sampled_from([Opcode.SHL, Opcode.SHR, Opcode.SAR])
+
+
+instr_cases = st.one_of(
+    st.tuples(binary_ops, st.tuples(rm4, small_imm())),
+    st.tuples(binary_ops, st.tuples(regs.map(RegOperand), rm4)),
+    st.tuples(unary_ops, st.tuples(rm4)),
+    st.tuples(fp_ops, st.tuples(regs.map(RegOperand), rm4)),
+    st.tuples(shift_ops, st.tuples(rm4, st.integers(0, 31).map(lambda v: ImmOperand(v, 1)))),
+    st.tuples(st.just(Opcode.MOV), st.tuples(regs.map(RegOperand), rm4)),
+    st.tuples(st.just(Opcode.MOV), st.tuples(mem_operands(4), regs.map(RegOperand))),
+    st.tuples(st.just(Opcode.MOV), st.tuples(rm4, small_imm())),
+    st.tuples(st.just(Opcode.LEA), st.tuples(regs.map(RegOperand), mem_operands(4))),
+    st.tuples(st.just(Opcode.MOVZX), st.tuples(regs.map(RegOperand), mem_operands(1))),
+    st.tuples(st.just(Opcode.MOVZX), st.tuples(regs.map(RegOperand), mem_operands(2))),
+    st.tuples(st.just(Opcode.MOVSX), st.tuples(regs.map(RegOperand), mem_operands(1))),
+    st.tuples(st.just(Opcode.PUSH), st.tuples(st.one_of(regs.map(RegOperand), small_imm(), mem_operands(4)))),
+    st.tuples(st.just(Opcode.POP), st.tuples(st.one_of(regs.map(RegOperand), mem_operands(4)))),
+    st.tuples(st.just(Opcode.JMP_IND), st.tuples(rm4)),
+    st.tuples(st.just(Opcode.CALL_IND), st.tuples(rm4)),
+    st.tuples(st.sampled_from([Opcode.RET, Opcode.NOP, Opcode.HALT, Opcode.SYSCALL]), st.just(())),
+)
+
+
+@given(instr_cases)
+@settings(max_examples=400)
+def test_encode_decode_roundtrip(case):
+    opcode, operands = case
+    raw = encode_instr(opcode, operands, pc=0)
+    assert 1 <= len(raw) <= 12
+
+    assert decode_boundary(raw, 0) == len(raw)
+
+    opc2, _eflags, length = decode_opcode(raw, 0)
+    assert opc2 == opcode and length == len(raw)
+
+    d = decode_full(raw, 0, pc=0)
+    assert d.opcode == opcode
+    assert d.length == len(raw)
+    assert len(d.operands) == len(operands)
+    for got, want in zip(d.operands, operands):
+        if isinstance(want, ImmOperand):
+            # The encoder is free to pick the compact imm8 form, so the
+            # decoded size hint may differ; the value must not.
+            assert isinstance(got, ImmOperand)
+            assert got.value & 0xFFFFFFFF == want.value & 0xFFFFFFFF
+        else:
+            assert got == want
+
+
+branch_ops = st.sampled_from([Opcode.JMP, Opcode.CALL] + list(JCC_CONDITION))
+
+
+@given(
+    branch_ops,
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=300)
+def test_branch_roundtrip(opcode, target, pc):
+    try:
+        raw = encode_instr(opcode, (PcOperand(target),), pc=pc)
+    except EncodeError:
+        return  # only possible for out-of-range rel32; acceptable to reject
+    d = decode_full(raw, 0, pc=pc)
+    assert d.opcode == opcode
+    assert d.operands[0].pc == target & 0xFFFFFFFF
+
+
+@given(st.binary(min_size=0, max_size=16))
+@settings(max_examples=300)
+def test_decoder_never_crashes_on_garbage(data):
+    """The decoder must reject garbage with DecodeError, never crash."""
+    from repro.isa.decoder import DecodeError
+
+    try:
+        d = decode_full(data, 0, pc=0)
+        assert 1 <= d.length <= len(data)
+    except DecodeError:
+        pass

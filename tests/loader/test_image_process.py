@@ -1,0 +1,67 @@
+import pytest
+
+from repro.loader import Image, Process
+from repro.machine.errors import MachineFault
+
+
+class TestImage:
+    def test_sections_and_symbols(self):
+        img = Image(entry=0x1000)
+        img.add_section(".text", 0x1000, b"\x90\x90")
+        img.add_section(".data", 0x100000, b"\x01\x02", writable=True)
+        img.add_symbol("main", 0x1000)
+        assert img.symbol("main") == 0x1000
+        assert img.code_bounds() == (0x1000, 0x1002)
+
+    def test_overlapping_sections_rejected(self):
+        img = Image()
+        img.add_section("a", 0x1000, b"\x90" * 16)
+        with pytest.raises(MachineFault):
+            img.add_section("b", 0x1008, b"\x90")
+
+    def test_load_into_memory(self):
+        from repro.machine.memory import Memory
+
+        img = Image()
+        img.add_section(".text", 0x10, b"\xde\xad")
+        mem = Memory(size=0x100)
+        img.load_into(mem)
+        assert mem.read_bytes(0x10, 2) == b"\xde\xad"
+
+
+class TestProcess:
+    def _image(self):
+        img = Image(entry=0x1000)
+        img.add_section(".text", 0x1000, b"\xf4")  # hlt
+        return img
+
+    def test_regions_disjoint(self):
+        proc = Process(self._image())
+        regions = proc.memory.regions()
+        names = {r.name for r in regions}
+        assert {"app_code", "app_data", "app_stack", "app_heap"} <= names
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b), (a, b)
+
+    def test_code_loaded(self):
+        proc = Process(self._image())
+        assert proc.memory.read_u8(0x1000) == 0xF4
+
+    def test_stack_pointer_in_stack_region(self):
+        proc = Process(self._image())
+        sp = proc.initial_stack_pointer()
+        assert proc.memory.region("app_stack").contains(sp - 4)
+
+    def test_sbrk(self):
+        proc = Process(self._image())
+        a = proc.sbrk(100)
+        b = proc.sbrk(100)
+        assert b > a
+        assert proc.memory.region("app_heap").contains(a)
+
+    def test_fresh_copy_isolated(self):
+        proc = Process(self._image())
+        proc.memory.write_u32(0x100000, 42)
+        clone = proc.fresh_copy()
+        assert clone.memory.read_u32(0x100000) == 0

@@ -1,0 +1,206 @@
+"""IA-32 flag semantics tests, including hypothesis cross-checks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.eflags import CF, PF, AF, ZF, SF, OF
+from repro.isa.opcodes import Opcode
+from repro.machine.cpu import CPU
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def signed(v):
+    return v - 0x100000000 if v & 0x80000000 else v
+
+
+class TestAdd:
+    def test_simple(self):
+        cpu = CPU()
+        assert cpu.flags_add(2, 3) == 5
+        assert not cpu.get_flag(CF) and not cpu.get_flag(ZF)
+
+    def test_carry(self):
+        cpu = CPU()
+        assert cpu.flags_add(0xFFFFFFFF, 1) == 0
+        assert cpu.get_flag(CF) and cpu.get_flag(ZF)
+        assert not cpu.get_flag(OF)  # -1 + 1 does not overflow signed
+
+    def test_signed_overflow(self):
+        cpu = CPU()
+        cpu.flags_add(0x7FFFFFFF, 1)
+        assert cpu.get_flag(OF) and cpu.get_flag(SF)
+        assert not cpu.get_flag(CF)
+
+    @given(u32, u32)
+    @settings(max_examples=200)
+    def test_flags_match_reference(self, a, b):
+        cpu = CPU()
+        res = cpu.flags_add(a, b)
+        assert res == (a + b) & 0xFFFFFFFF
+        assert cpu.get_flag(CF) == (a + b > 0xFFFFFFFF)
+        assert cpu.get_flag(ZF) == (res == 0)
+        assert cpu.get_flag(SF) == bool(res & 0x80000000)
+        expected_of = not (-(2**31) <= signed(a) + signed(b) <= 2**31 - 1)
+        assert cpu.get_flag(OF) == expected_of
+        assert cpu.get_flag(PF) == (bin(res & 0xFF).count("1") % 2 == 0)
+
+
+class TestSub:
+    def test_borrow(self):
+        cpu = CPU()
+        assert cpu.flags_sub(1, 2) == 0xFFFFFFFF
+        assert cpu.get_flag(CF) and cpu.get_flag(SF)
+
+    @given(u32, u32)
+    @settings(max_examples=200)
+    def test_flags_match_reference(self, a, b):
+        cpu = CPU()
+        res = cpu.flags_sub(a, b)
+        assert res == (a - b) & 0xFFFFFFFF
+        assert cpu.get_flag(CF) == (a < b)
+        assert cpu.get_flag(ZF) == (a == b)
+        expected_of = not (-(2**31) <= signed(a) - signed(b) <= 2**31 - 1)
+        assert cpu.get_flag(OF) == expected_of
+
+
+class TestIncDec:
+    """inc/dec preserve CF — the property the paper's strength-reduction
+    client must check before substituting add/sub."""
+
+    @given(u32, st.booleans())
+    @settings(max_examples=100)
+    def test_inc_preserves_cf(self, a, cf):
+        cpu = CPU()
+        cpu.set_flag(CF, cf)
+        res = cpu.flags_inc(a)
+        assert res == (a + 1) & 0xFFFFFFFF
+        assert cpu.get_flag(CF) == cf  # untouched
+        assert cpu.get_flag(ZF) == (res == 0)
+
+    @given(u32, st.booleans())
+    @settings(max_examples=100)
+    def test_dec_preserves_cf(self, a, cf):
+        cpu = CPU()
+        cpu.set_flag(CF, cf)
+        res = cpu.flags_dec(a)
+        assert res == (a - 1) & 0xFFFFFFFF
+        assert cpu.get_flag(CF) == cf
+
+    @given(u32)
+    @settings(max_examples=100)
+    def test_inc_other_flags_match_add1(self, a):
+        """Apart from CF, inc computes exactly add-1 flags — which is why
+        the substitution is safe whenever CF is dead."""
+        cpu_inc, cpu_add = CPU(), CPU()
+        assert cpu_inc.flags_inc(a) == cpu_add.flags_add(a, 1)
+        mask = ~CF & (CF | PF | AF | ZF | SF | OF)
+        assert (cpu_inc.eflags & mask) == (cpu_add.eflags & mask)
+
+    def test_inc_overflow(self):
+        cpu = CPU()
+        cpu.flags_inc(0x7FFFFFFF)
+        assert cpu.get_flag(OF)
+
+
+class TestLogic:
+    def test_clears_cf_of(self):
+        cpu = CPU()
+        cpu.set_flag(CF, True)
+        cpu.set_flag(OF, True)
+        cpu.flags_logic(0xFF)
+        assert not cpu.get_flag(CF) and not cpu.get_flag(OF)
+
+    def test_zero(self):
+        cpu = CPU()
+        cpu.flags_logic(0)
+        assert cpu.get_flag(ZF) and cpu.get_flag(PF)
+
+
+class TestShifts:
+    def test_shl_carry_out(self):
+        cpu = CPU()
+        assert cpu.flags_shl(0x80000000, 1) == 0
+        assert cpu.get_flag(CF) and cpu.get_flag(ZF)
+
+    def test_shl_zero_count_keeps_flags(self):
+        cpu = CPU()
+        cpu.set_flag(CF, True)
+        assert cpu.flags_shl(5, 0) == 5
+        assert cpu.get_flag(CF)
+
+    def test_shr(self):
+        cpu = CPU()
+        assert cpu.flags_shr(0b101, 1) == 0b10
+        assert cpu.get_flag(CF)
+
+    def test_sar_sign_fill(self):
+        cpu = CPU()
+        assert cpu.flags_shr(0x80000000, 4, arithmetic=True) == 0xF8000000
+
+    @given(u32, st.integers(0, 31))
+    @settings(max_examples=100)
+    def test_sar_matches_python_signed_shift(self, a, n):
+        cpu = CPU()
+        res = cpu.flags_shr(a, n, arithmetic=True)
+        assert res == (signed(a) >> n) & 0xFFFFFFFF
+
+
+class TestNegMul:
+    def test_neg(self):
+        cpu = CPU()
+        assert cpu.flags_neg(1) == 0xFFFFFFFF
+        assert cpu.get_flag(CF)
+        cpu2 = CPU()
+        cpu2.flags_neg(0)
+        assert not cpu2.get_flag(CF) and cpu2.get_flag(ZF)
+
+    def test_neg_int_min_overflows(self):
+        cpu = CPU()
+        assert cpu.flags_neg(0x80000000) == 0x80000000
+        assert cpu.get_flag(OF)
+
+    @given(u32, u32)
+    @settings(max_examples=100)
+    def test_imul_truncates(self, a, b):
+        cpu = CPU()
+        res = cpu.flags_imul(a, b)
+        assert res == (signed(a) * signed(b)) & 0xFFFFFFFF
+        fits = -(2**31) <= signed(a) * signed(b) <= 2**31 - 1
+        assert cpu.get_flag(OF) == (not fits)
+        assert cpu.get_flag(CF) == (not fits)
+
+
+class TestConditions:
+    def test_jz_jnz(self):
+        cpu = CPU()
+        cpu.flags_sub(5, 5)
+        assert cpu.condition_holds(Opcode.JZ)
+        assert not cpu.condition_holds(Opcode.JNZ)
+
+    def test_signed_comparisons(self):
+        cpu = CPU()
+        cpu.flags_sub(1, 2)  # 1 < 2 signed
+        assert cpu.condition_holds(Opcode.JL)
+        assert cpu.condition_holds(Opcode.JLE)
+        assert not cpu.condition_holds(Opcode.JNL)
+
+    def test_unsigned_comparisons(self):
+        cpu = CPU()
+        cpu.flags_sub(1, 0xFFFFFFFF)  # 1 < 0xFFFFFFFF unsigned
+        assert cpu.condition_holds(Opcode.JB)
+        assert not cpu.condition_holds(Opcode.JNB)
+
+    @given(u32, u32)
+    @settings(max_examples=200)
+    def test_all_comparison_conditions_consistent(self, a, b):
+        cpu = CPU()
+        cpu.flags_sub(a, b)
+        sa, sb = signed(a), signed(b)
+        assert cpu.condition_holds(Opcode.JZ) == (a == b)
+        assert cpu.condition_holds(Opcode.JB) == (a < b)
+        assert cpu.condition_holds(Opcode.JBE) == (a <= b)
+        assert cpu.condition_holds(Opcode.JNBE) == (a > b)
+        assert cpu.condition_holds(Opcode.JL) == (sa < sb)
+        assert cpu.condition_holds(Opcode.JLE) == (sa <= sb)
+        assert cpu.condition_holds(Opcode.JNL) == (sa >= sb)
+        assert cpu.condition_holds(Opcode.JNLE) == (sa > sb)

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.machine.errors import MachineFault
+from repro.machine.memory import Memory
+
+
+class TestAccess:
+    def test_u8_roundtrip(self):
+        m = Memory(size=0x1000)
+        m.write_u8(0x10, 0xAB)
+        assert m.read_u8(0x10) == 0xAB
+
+    def test_u32_little_endian(self):
+        m = Memory(size=0x1000)
+        m.write_u32(0x20, 0x12345678)
+        assert m.read_u8(0x20) == 0x78
+        assert m.read_u8(0x23) == 0x12
+        assert m.read_u32(0x20) == 0x12345678
+
+    def test_u16(self):
+        m = Memory(size=0x1000)
+        m.write_bytes(0x30, b"\xcd\xab")
+        assert m.read_u16(0x30) == 0xABCD
+
+    def test_bytes_roundtrip(self):
+        m = Memory(size=0x1000)
+        m.write_bytes(0x40, b"hello")
+        assert m.read_bytes(0x40, 5) == b"hello"
+
+    def test_wraps_value_to_32_bits(self):
+        m = Memory(size=0x1000)
+        m.write_u32(0, 0x1_2345_6789)
+        assert m.read_u32(0) == 0x23456789
+
+    def test_out_of_range_faults(self):
+        m = Memory(size=0x100)
+        with pytest.raises(MachineFault):
+            m.read_u32(0x100)
+        with pytest.raises(MachineFault):
+            m.write_u8(0x4000, 1)
+
+
+class TestRegions:
+    def test_overlap_rejected(self):
+        m = Memory(size=0x10000)
+        m.add_region("a", 0x0, 0x100)
+        with pytest.raises(MachineFault):
+            m.add_region("b", 0x80, 0x100)
+
+    def test_region_containing(self):
+        m = Memory(size=0x10000)
+        r = m.add_region("code", 0x1000, 0x100)
+        assert m.region_containing(0x1050) is r
+        assert m.region_containing(0x2000) is None
+
+    def test_write_protection(self):
+        m = Memory(size=0x10000)
+        m.add_region("code", 0x1000, 0x100, writable=False)
+        m.write_u32(0x1000, 1)  # protection off by default
+        m.set_protection(True)
+        with pytest.raises(MachineFault):
+            m.write_u32(0x1000, 2)
+        m.write_u32(0x5000, 3)  # outside any region: allowed
+
+    def test_region_past_memory_rejected(self):
+        m = Memory(size=0x100)
+        with pytest.raises(MachineFault):
+            m.add_region("big", 0x80, 0x100)

@@ -1,0 +1,121 @@
+"""Branch predictor and cost model unit tests."""
+
+from repro.isa.opcodes import Opcode, opcode_info
+from repro.machine.cost import CostModel, CycleCounter, Family
+from repro.machine.predictors import BranchTargetBuffer, ReturnAddressStack
+
+
+class TestBTB:
+    def test_first_encounter_misses(self):
+        btb = BranchTargetBuffer()
+        assert not btb.predict_and_update(0x100, 0x200)
+
+    def test_repeated_target_hits(self):
+        btb = BranchTargetBuffer()
+        btb.predict_and_update(0x100, 0x200)
+        assert btb.predict_and_update(0x100, 0x200)
+
+    def test_alternating_targets_always_miss(self):
+        btb = BranchTargetBuffer()
+        btb.predict_and_update(0x100, 0x200)
+        assert not btb.predict_and_update(0x100, 0x300)
+        assert not btb.predict_and_update(0x100, 0x200)
+
+    def test_sites_independent(self):
+        btb = BranchTargetBuffer()
+        btb.predict_and_update(0x100, 0x200)
+        assert not btb.predict_and_update(0x104, 0x200)
+
+    def test_reset(self):
+        btb = BranchTargetBuffer()
+        btb.predict_and_update(0x100, 0x200)
+        btb.reset()
+        assert not btb.predict_and_update(0x100, 0x200)
+
+
+class TestRAS:
+    def test_matched_call_return(self):
+        ras = ReturnAddressStack()
+        ras.push(0x500)
+        assert ras.pop_and_check(0x500)
+
+    def test_mismatched_return(self):
+        ras = ReturnAddressStack()
+        ras.push(0x500)
+        assert not ras.pop_and_check(0x600)
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack()
+        assert not ras.pop_and_check(0x500)
+
+    def test_nesting(self):
+        ras = ReturnAddressStack()
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop_and_check(0x200)
+        assert ras.pop_and_check(0x100)
+
+    def test_bounded_depth_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.push(0x300)  # 0x100 falls off
+        assert ras.pop_and_check(0x300)
+        assert ras.pop_and_check(0x200)
+        assert not ras.pop_and_check(0x100)
+
+
+class TestCostModel:
+    def test_p4_incdec_stall(self):
+        p4 = CostModel(Family.PENTIUM_IV)
+        p3 = CostModel(Family.PENTIUM_III)
+        info = opcode_info(Opcode.INC)
+        assert p4.instr_cost(info, False, False) > p3.instr_cost(info, False, False)
+
+    def test_p3_add_imm1_extra(self):
+        p4 = CostModel(Family.PENTIUM_IV)
+        p3 = CostModel(Family.PENTIUM_III)
+        info = opcode_info(Opcode.ADD)
+        assert p3.instr_cost(info, False, False, imm1=True) > p4.instr_cost(
+            info, False, False, imm1=True
+        )
+
+    def test_memory_extras(self):
+        cost = CostModel()
+        info = opcode_info(Opcode.MOV)
+        plain = cost.instr_cost(info, False, False)
+        load = cost.instr_cost(info, True, False)
+        store = cost.instr_cost(info, False, True)
+        assert load == plain + cost.mem_read_extra
+        assert store == plain + cost.mem_write_extra
+
+    def test_fp_slower_than_int(self):
+        cost = CostModel()
+        assert cost.instr_cost(
+            opcode_info(Opcode.FMUL), False, False
+        ) > cost.instr_cost(opcode_info(Opcode.IMUL), False, False)
+
+    def test_copy_is_independent(self):
+        a = CostModel()
+        b = a.copy()
+        b.ibl_lookup = 999
+        assert a.ibl_lookup != 999
+
+
+class TestCycleCounter:
+    def test_charge_and_count(self):
+        counter = CycleCounter()
+        counter.charge(10, "foo")
+        counter.charge(5)
+        counter.count("bar")
+        assert counter.cycles == 15
+        assert counter.events == {"foo": 1, "bar": 1}
+
+    def test_merge(self):
+        a, b = CycleCounter(), CycleCounter()
+        a.charge(10, "x")
+        b.charge(20, "x")
+        b.charge(1, "y")
+        a.merge(b)
+        assert a.cycles == 31
+        assert a.events == {"x": 2, "y": 1}

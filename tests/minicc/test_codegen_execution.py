@@ -1,0 +1,395 @@
+"""MiniC end-to-end tests: compile and execute, compare with Python."""
+
+import pytest
+
+from repro.isa.decoder import decode_full
+from repro.isa.opcodes import Opcode
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.minicc import CompileError, compile_source
+
+
+def run(src):
+    return run_native(Process(compile_source(src)))
+
+
+def outputs(result):
+    return [
+        int.from_bytes(result.output[i : i + 4], "little")
+        for i in range(0, len(result.output), 4)
+    ]
+
+
+class TestBasics:
+    def test_return_value_is_exit_code(self):
+        assert run("int main() { return 7; }").exit_code == 7
+
+    def test_arithmetic(self):
+        r = run("int main() { print(2 + 3 * 4 - 6 / 2); return 0; }")
+        assert outputs(r) == [11]
+
+    def test_unsigned_division_and_mod(self):
+        r = run("int main() { print(17 / 5); print(17 % 5); return 0; }")
+        assert outputs(r) == [3, 2]
+
+    def test_bitwise(self):
+        r = run("int main() { print((12 & 10) | (1 ^ 3)); print(~0 & 255); return 0; }")
+        assert outputs(r) == [(12 & 10) | (1 ^ 3), 255]
+
+    def test_shifts(self):
+        r = run("int main() { int n; n = 3; print(1 << n); print(256 >> n); return 0; }")
+        assert outputs(r) == [8, 32]
+
+    def test_unary(self):
+        r = run("int main() { int x; x = 5; print(0 - (-x)); print(!x); print(!0); return 0; }")
+        assert outputs(r) == [5, 0, 1]
+
+    def test_globals_with_initializers(self):
+        r = run(
+            "int a = 10; int t[4] = {1, 2, 3, 4};\n"
+            "int main() { print(a + t[0] + t[3]); return 0; }"
+        )
+        assert outputs(r) == [15]
+
+    def test_putc(self):
+        r = run("int main() { putc(72); putc(105); return 0; }")
+        assert r.output == b"Hi"
+
+    def test_exit_builtin(self):
+        assert run("int main() { exit(3); return 0; }").exit_code == 3
+
+
+class TestControlFlow:
+    def test_if_else_chains(self):
+        src = """
+int sign(int x) {
+    if (x > 0) return 1;
+    else if (x < 0) return 0 - 1;
+    else return 0;
+}
+int main() {
+    print(sign(5) + 10);
+    print(sign(0 - 5) + 10);
+    print(sign(0) + 10);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [11, 9, 10]
+
+    def test_nested_loops(self):
+        src = """
+int main() {
+    int i; int j; int acc;
+    acc = 0;
+    for (i = 0; i < 10; i++) {
+        for (j = 0; j < i; j++) {
+            acc += j;
+        }
+    }
+    print(acc);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [sum(j for i in range(10) for j in range(i))]
+
+    def test_while_break_continue(self):
+        src = """
+int main() {
+    int i; int acc;
+    i = 0; acc = 0;
+    while (i < 100) {
+        i++;
+        if (i % 3 == 0) continue;
+        if (i > 20) break;
+        acc += i;
+    }
+    print(acc);
+    return 0;
+}
+"""
+        expected = 0
+        i = 0
+        while i < 100:
+            i += 1
+            if i % 3 == 0:
+                continue
+            if i > 20:
+                break
+            expected += i
+        assert outputs(run(src)) == [expected]
+
+    def test_logical_short_circuit(self):
+        src = """
+int calls;
+int truthy() { calls++; return 1; }
+int main() {
+    calls = 0;
+    if (0 && truthy()) { print(999); }
+    if (1 || truthy()) { print(1); }
+    print(calls);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [1, 0]
+
+    def test_sparse_switch_compare_chain(self):
+        src = """
+int f(int x) {
+    switch (x) {
+        case 1: return 10;
+        case 100: return 20;
+        default: return 30;
+    }
+}
+int main() { print(f(1)); print(f(100)); print(f(7)); return 0; }
+"""
+        assert outputs(run(src)) == [10, 20, 30]
+
+    def test_dense_switch_jump_table(self):
+        src = """
+int f(int x) {
+    int r;
+    switch (x) {
+        case 2: r = 12; break;
+        case 3: r = 13; break;
+        case 4: r = 14; break;
+        case 5: r = 15; break;
+        default: r = 0;
+    }
+    return r;
+}
+int main() {
+    print(f(2)); print(f(5)); print(f(9)); print(f(0));
+    return 0;
+}
+"""
+        img = compile_source(src)
+        # verify a jump table (indirect jump) was emitted
+        code = img.sections[0].data
+        found = False
+        off = 0
+        while off < len(code):
+            d = decode_full(code, off, pc=img.sections[0].addr + off)
+            if d.opcode == Opcode.JMP_IND:
+                found = True
+                break
+            off += d.length
+        assert found, "dense switch should compile to a jump table"
+        assert outputs(run(src)) == [12, 15, 0, 0]
+
+    def test_switch_fallthrough(self):
+        src = """
+int main() {
+    int r; r = 0;
+    switch (2) {
+        case 1: r += 1;
+        case 2: r += 2;
+        case 3: r += 4;
+        case 4: r += 8; break;
+        case 5: r += 16;
+    }
+    print(r);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [2 + 4 + 8]
+
+
+class TestFunctions:
+    def test_recursion_fibonacci(self):
+        src = """
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { print(fib(12)); return 0; }
+"""
+        assert outputs(run(src)) == [144]
+
+    def test_many_args(self):
+        src = """
+int f(int a, int b, int c, int d, int e) {
+    return a + b * 2 + c * 3 + d * 4 + e * 5;
+}
+int main() { print(f(1, 2, 3, 4, 5)); return 0; }
+"""
+        assert outputs(run(src)) == [1 + 4 + 9 + 16 + 25]
+
+    def test_array_passed_by_pointer(self):
+        src = """
+int data[5];
+void fill(int* p, int n) {
+    int i;
+    for (i = 0; i < n; i++) { p[i] = i * i; }
+}
+int total(int* p, int n) {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < n; i++) { acc += p[i]; }
+    return acc;
+}
+int main() {
+    fill(data, 5);
+    print(total(data, 5));
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [sum(i * i for i in range(5))]
+
+    def test_local_array(self):
+        src = """
+int main() {
+    int buf[8];
+    int i; int acc;
+    for (i = 0; i < 8; i++) { buf[i] = i + 1; }
+    acc = 0;
+    for (i = 0; i < 8; i++) { acc += buf[i]; }
+    print(acc);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [36]
+
+    def test_function_pointers(self):
+        src = """
+int add1(int x) { return x + 1; }
+int dbl(int x) { return x * 2; }
+int table[2];
+int main() {
+    int i; int acc; int f;
+    table[0] = &add1;
+    table[1] = &dbl;
+    acc = 0;
+    for (i = 0; i < 10; i++) {
+        f = table[i % 2];
+        acc += f(i);
+    }
+    print(acc);
+    return 0;
+}
+"""
+        expected = sum((i + 1) if i % 2 == 0 else i * 2 for i in range(10))
+        assert outputs(run(src)) == [expected]
+
+    def test_call_preserves_expression_temporaries(self):
+        # the temporaries live across the call must be saved/restored
+        src = """
+int g() { return 100; }
+int main() {
+    int a; a = 7;
+    print(a * 3 + g() + a);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [7 * 3 + 100 + 7]
+
+
+class TestFloats:
+    def test_float_arithmetic(self):
+        src = """
+float x; float y;
+int main() {
+    x = 6; y = 7;
+    x = x * y + 2;
+    print(x);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [44]
+
+    def test_float_arrays_use_fp_ops(self):
+        src = """
+float v[4];
+float dot;
+int main() {
+    int i;
+    for (i = 0; i < 4; i++) { v[i] = i + 1; }
+    dot = 0;
+    for (i = 0; i < 4; i++) { dot = dot + v[i] * v[i]; }
+    print(dot);
+    return 0;
+}
+"""
+        img = compile_source(src)
+        code = img.sections[0].data
+        opcodes = set()
+        off = 0
+        while off < len(code):
+            d = decode_full(code, off, pc=0x1000 + off)
+            opcodes.add(d.opcode)
+            off += d.length
+        assert Opcode.FMUL in opcodes and Opcode.FADD in opcodes
+        assert outputs(run(src)) == [1 + 4 + 9 + 16]
+
+    def test_float_compare(self):
+        src = """
+float a; float b;
+int main() {
+    a = 3; b = 5;
+    if (a < b) print(1); else print(0);
+    return 0;
+}
+"""
+        assert outputs(run(src)) == [1]
+
+
+class TestGeneratedCode:
+    def test_incdec_statements_emit_inc_dec(self):
+        src = """
+int counter;
+int main() {
+    int i;
+    for (i = 0; i < 5; i++) { counter++; }
+    print(counter);
+    return 0;
+}
+"""
+        img = compile_source(src)
+        code = img.sections[0].data
+        opcodes = []
+        off = 0
+        while off < len(code):
+            d = decode_full(code, off, pc=0x1000 + off)
+            opcodes.append(d.opcode)
+            off += d.length
+        assert Opcode.INC in opcodes
+        assert outputs(run(src)) == [5]
+
+    def test_cross_statement_redundant_loads_exist(self):
+        """The naive codegen reloads a variable used in consecutive
+        statements — the artifact RLR (Section 4.1) removes."""
+        src = """
+int main() {
+    int a; int b; int c;
+    a = 5;
+    b = a + 1;
+    c = a + 2;
+    print(b + c);
+    return 0;
+}
+"""
+        img = compile_source(src)
+        code = img.sections[0].data
+        loads = 0
+        off = 0
+        while off < len(code):
+            d = decode_full(code, off, pc=0x1000 + off)
+            if (
+                d.opcode == Opcode.MOV
+                and d.operands[0].is_reg()
+                and d.operands[1].is_mem()
+            ):
+                loads += 1
+            off += d.length
+        assert loads >= 2  # `a` reloaded at least twice
+        assert outputs(run(src)) == [13]
+
+
+class TestErrors:
+    def test_compile_error_wraps_all_stages(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { $ }")
+        with pytest.raises(CompileError):
+            compile_source("int main() { return x; }")
+        with pytest.raises(CompileError):
+            compile_source("int main() { return 1 }")

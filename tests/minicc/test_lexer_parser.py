@@ -1,0 +1,98 @@
+import pytest
+
+from repro.minicc import ast
+from repro.minicc.lexer import LexError, tokenize
+from repro.minicc.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_numbers(self):
+        toks = tokenize("42 0x2A")
+        assert toks[0].value == 42
+        assert toks[1].value == 42
+
+    def test_keywords_vs_idents(self):
+        toks = tokenize("int foo while bar")
+        assert [t.kind for t in toks[:-1]] == ["int", "ident", "while", "ident"]
+
+    def test_operators_longest_match(self):
+        toks = tokenize("<<= <= < ++ + == =")
+        assert [t.kind for t in toks[:-1]] == ["<<=", "<=", "<", "++", "+", "==", "="]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // line\n b /* block\n comment */ c")
+        assert [t.value for t in toks[:-1]] == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestParser:
+    def test_globals(self):
+        prog = parse("int x; float ys[10]; int z = 5; int w[3] = {1, 2, 3};")
+        assert len(prog.globals) == 4
+        assert prog.globals[1].array_size == 10
+        assert prog.globals[2].init == 5
+        assert prog.globals[3].init == [1, 2, 3]
+
+    def test_function(self):
+        prog = parse("int add(int a, int b) { return a + b; }")
+        f = prog.functions[0]
+        assert f.name == "add"
+        assert [p.name for p in f.params] == ["a", "b"]
+        assert isinstance(f.body.statements[0], ast.Return)
+
+    def test_pointer_param(self):
+        prog = parse("void f(int* p) { p[0] = 1; }")
+        assert prog.functions[0].params[0].type.is_ptr()
+
+    def test_precedence(self):
+        prog = parse("int f() { return 1 + 2 * 3; }")
+        ret = prog.functions[0].body.statements[0]
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_if_else_associates_to_nearest(self):
+        prog = parse("int f(int x) { if (x) if (x) return 1; else return 2; return 3; }")
+        outer = prog.functions[0].body.statements[0]
+        assert outer.otherwise is None
+        assert outer.then.otherwise is not None
+
+    def test_switch(self):
+        prog = parse(
+            "int f(int x) { switch (x) { case 1: return 1; default: return 0; } }"
+        )
+        sw = prog.functions[0].body.statements[0]
+        assert sw.cases[0][0] == 1
+        assert sw.default is not None
+
+    def test_for_with_incdec_step(self):
+        prog = parse("int f() { int i; for (i = 0; i < 3; i++) { } return i; }")
+        loop = prog.functions[0].body.statements[1]
+        assert isinstance(loop.step, ast.IncDec)
+
+    def test_addr_of(self):
+        prog = parse("int g() { return 0; } int f() { return &g; }")
+        ret = prog.functions[1].body.statements[0]
+        assert isinstance(ret.value, ast.AddrOf)
+
+    def test_assignment_needs_lvalue(self):
+        with pytest.raises(ParseError):
+            parse("int f() { 1 = 2; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 1 }")
+
+    def test_error_has_line_number(self):
+        try:
+            parse("int f() {\n  return 1\n}")
+        except ParseError as exc:
+            assert exc.line == 3
+        else:
+            raise AssertionError("expected ParseError")

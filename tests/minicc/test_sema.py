@@ -1,0 +1,90 @@
+import pytest
+
+from repro.minicc.parser import parse
+from repro.minicc.sema import SemaError, analyze
+
+
+def check(src):
+    return analyze(parse(src))
+
+
+class TestBinding:
+    def test_locals_get_frame_offsets(self):
+        info = check("int main() { int a; int b; int arr[4]; return 0; }")
+        func = info.functions["main"]
+        offsets = [v.offset for v in func.node.locals]
+        assert offsets == [-4, -8, -24]
+        assert func.frame_size == 24
+
+    def test_param_offsets(self):
+        info = check("int f(int a, int b) { return a; } int main() { return 0; }")
+        assert info.functions["f"].param_offsets == {"a": 8, "b": 12}
+
+    def test_undefined_variable(self):
+        with pytest.raises(SemaError):
+            check("int main() { return nope; }")
+
+    def test_shadowing_in_inner_scope(self):
+        info = check("int main() { int a; { int a; a = 1; } return a; }")
+        assert len(info.functions["main"].node.locals) == 2
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemaError):
+            check("int main() { int a; int a; return 0; }")
+
+    def test_main_required(self):
+        with pytest.raises(SemaError):
+            check("int f() { return 0; }")
+
+
+class TestTypes:
+    def test_float_int_mix_rejected_in_int_slot(self):
+        with pytest.raises(SemaError):
+            check("float f; int main() { int x; x = f; return 0; }")
+
+    def test_int_literal_into_float_ok(self):
+        check("float f; int main() { f = 3; return 0; }")
+
+    def test_mod_requires_ints(self):
+        with pytest.raises(SemaError):
+            check("float f; int main() { f = f % 2; return 0; }")
+
+    def test_indexing_non_array(self):
+        with pytest.raises(SemaError):
+            check("int x; int main() { return x[0]; }")
+
+    def test_array_decays_to_pointer_in_call(self):
+        check(
+            "int a[4];\n"
+            "int sum(int* p) { return p[0]; }\n"
+            "int main() { return sum(a); }"
+        )
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(SemaError):
+            check("int a[4]; int main() { a = 1; return 0; }")
+
+    def test_arg_count_checked(self):
+        with pytest.raises(SemaError):
+            check("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_void_function_cannot_return_value(self):
+        with pytest.raises(SemaError):
+            check("void f() { return 1; } int main() { return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemaError):
+            check("int main() { break; return 0; }")
+
+    def test_duplicate_case(self):
+        with pytest.raises(SemaError):
+            check(
+                "int main() { switch (1) { case 1: break; case 1: break; } return 0; }"
+            )
+
+    def test_indirect_call_flagged(self):
+        info = check(
+            "int g() { return 1; }\n"
+            "int main() { int p; p = &g; return p(); }"
+        )
+        assert info.uses_indirect_calls

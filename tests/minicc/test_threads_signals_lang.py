@@ -1,0 +1,97 @@
+"""MiniC language support for threads and signals."""
+
+import pytest
+
+from repro.isa.decoder import decode_full
+from repro.isa.opcodes import Opcode
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.minicc import CompileError, compile_source
+
+
+class TestSpawnSyntax:
+    def test_spawn_emits_trampoline(self):
+        src = """
+int worker() { return 0; }
+int main() { spawn(&worker, 0x790000); return 0; }
+"""
+        image = compile_source(src)
+        assert "__thread_exit" in image.symbols
+
+    def test_no_trampoline_without_spawn(self):
+        image = compile_source("int main() { return 0; }")
+        assert "__thread_exit" not in image.symbols
+
+    def test_spawn_type_checked(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                "float f; int main() { spawn(f, 0x790000); return 0; }"
+            )
+
+
+class TestSignalSyntax:
+    def test_sigreturn_emits_iret(self):
+        src = """
+int h() { sigreturn; return 0; }
+int main() { sighandler(&h); return 0; }
+"""
+        image = compile_source(src)
+        code = image.sections[0].data
+        opcodes = set()
+        off = 0
+        while off < len(code):
+            try:
+                d = decode_full(code, off, pc=0x1000 + off)
+            except Exception:
+                break
+            opcodes.add(d.opcode)
+            off += d.length
+        assert Opcode.IRET in opcodes
+
+    def test_alarm_requires_int(self):
+        with pytest.raises(CompileError):
+            compile_source("float f; int main() { alarm(f); return 0; }")
+
+    def test_keywords_not_usable_as_identifiers(self):
+        with pytest.raises(CompileError):
+            compile_source("int main() { int alarm; return 0; }")
+
+
+class TestSemantics:
+    def test_handler_sees_and_modifies_globals(self):
+        src = """
+int hits;
+int h() { hits = hits + 100; sigreturn; return 0; }
+int main() {
+    int i;
+    sighandler(&h);
+    alarm(120);
+    i = 0;
+    while (hits < 100) { i++; }
+    print(hits);
+    return 0;
+}
+"""
+        result = run_native(Process(compile_source(src)))
+        assert int.from_bytes(result.output, "little") == 100
+
+    def test_nested_alarm_rearm(self):
+        src = """
+int count;
+int h() {
+    count++;
+    if (count < 3) { alarm(80); }
+    sigreturn;
+    return 0;
+}
+int main() {
+    sighandler(&h);
+    alarm(80);
+    while (count < 3) { }
+    print(count);
+    return 0;
+}
+"""
+        result = run_native(Process(compile_source(src)))
+        assert int.from_bytes(result.output, "little") == 3
+        assert result.events["signals_delivered"] == 3

@@ -1,0 +1,141 @@
+"""Liveness analysis tests (repro.analysis)."""
+
+from repro.analysis import (
+    eflags_dead_before,
+    find_dead_flags_point,
+    instr_use_def,
+    registers_written_before_read,
+)
+from repro.api.dr import dr_insert_clean_call
+from repro.ir.instrlist import InstrList
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    INSTR_CREATE_cmp,
+    INSTR_CREATE_jz,
+    INSTR_CREATE_jmp,
+    INSTR_CREATE_mov,
+    INSTR_CREATE_not,
+    OPND_CREATE_INT32,
+    OPND_CREATE_MEM,
+    OPND_CREATE_PC,
+    OPND_CREATE_REG,
+)
+from repro.isa.registers import Reg
+
+EAX = OPND_CREATE_REG(Reg.EAX)
+EBX = OPND_CREATE_REG(Reg.EBX)
+ECX = OPND_CREATE_REG(Reg.ECX)
+MEM = OPND_CREATE_MEM(base=Reg.EBP, disp=-4)
+
+
+class TestUseDef:
+    def test_mov_reg_mem(self):
+        reads, writes = instr_use_def(INSTR_CREATE_mov(EAX, MEM))
+        assert Reg.EBP in reads  # address register
+        assert writes == {Reg.EAX}
+
+    def test_add(self):
+        reads, writes = instr_use_def(INSTR_CREATE_add(EAX, EBX))
+        assert reads == {Reg.EAX, Reg.EBX}
+        assert writes == {Reg.EAX}
+
+    def test_store_address_regs_are_reads(self):
+        reads, writes = instr_use_def(INSTR_CREATE_mov(MEM, ECX))
+        assert Reg.EBP in reads and Reg.ECX in reads
+        assert writes == set()
+
+
+class TestEflagsDead:
+    def test_dead_when_fully_written_first(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, MEM),
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(3)),  # writes all 6
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x100)),
+            ]
+        )
+        assert eflags_dead_before(il, il.first())
+
+    def test_live_when_read_first(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x100)),  # reads ZF
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(3)),
+            ]
+        )
+        assert not eflags_dead_before(il, il.first())
+
+    def test_live_at_barrier_before_full_write(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, MEM),
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x100)),  # leaves the stream
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(3)),
+            ]
+        )
+        assert not eflags_dead_before(il, il.first())
+
+    def test_flagless_instructions_are_transparent(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, MEM),
+                INSTR_CREATE_not(EBX),  # writes no flags
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(3)),
+            ]
+        )
+        assert eflags_dead_before(il, il.first())
+
+    def test_clean_call_is_a_barrier(self):
+        il = InstrList([INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(3))])
+        dr_insert_clean_call(il, il.first(), lambda ctx: None)
+        assert not eflags_dead_before(il, il.first())
+
+    def test_find_point_skips_past_flag_reader(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_add(EAX, EBX),  # writes flags
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(1)),
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x10)),
+            ]
+        )
+        point = find_dead_flags_point(il)
+        assert point is il.first()
+
+    def test_no_point_in_flag_consuming_block(self):
+        jz = INSTR_CREATE_jz(OPND_CREATE_PC(0x10))
+        il = InstrList([jz])
+        assert find_dead_flags_point(il) is None
+
+
+class TestDeadRegisters:
+    def test_overwritten_register_is_dead(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(1)),  # writes eax
+                INSTR_CREATE_mov(EBX, EAX),
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x10)),
+            ]
+        )
+        dead = registers_written_before_read(il, il.first())
+        assert Reg.EAX in dead
+        assert Reg.EBX in dead  # written (after the eax read) before any read
+
+    def test_read_register_not_dead(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EBX, EAX),  # reads eax
+                INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(0)),
+            ]
+        )
+        dead = registers_written_before_read(il, il.first())
+        assert Reg.EAX not in dead
+        assert Reg.EBX in dead
+
+    def test_barrier_stops_scan(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x10)),
+                INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(0)),
+            ]
+        )
+        assert registers_written_before_read(il, il.first()) == set()

@@ -1,0 +1,28 @@
+"""Every example script must run cleanly (they are living documentation)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # every example narrates what it shows

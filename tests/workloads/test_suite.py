@@ -1,0 +1,111 @@
+"""Workload suite tests: compilation, determinism, artifacts, transparency."""
+
+import pytest
+
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.isa.decoder import decode_full
+from repro.isa.opcodes import Opcode
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.workloads import all_benchmarks, benchmark, fp_benchmarks, int_benchmarks, load_benchmark
+
+ALL_NAMES = [b.name for b in all_benchmarks()]
+
+
+class TestRegistry:
+    def test_suite_composition(self):
+        assert len(int_benchmarks()) == 12
+        assert len(fp_benchmarks()) == 10
+        # the paper's Table 1 columns exist
+        assert benchmark("crafty").suite == "int"
+        assert benchmark("vpr").suite == "int"
+        # the paper's Figure 5 headline FP benchmark exists
+        assert benchmark("mgrid").suite == "fp"
+
+    def test_descriptions_present(self):
+        for b in all_benchmarks():
+            assert b.description
+
+    def test_short_run_benchmarks_marked(self):
+        assert benchmark("gcc").runs > 1
+        assert benchmark("perlbmk").runs > 1
+        assert benchmark("mgrid").runs == 1
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryBenchmark:
+    def test_compiles_and_runs(self, name):
+        image = load_benchmark(name, "test")
+        result = run_native(Process(image))
+        assert result.exit_code == 0
+        assert result.output  # every benchmark prints a checksum
+        assert result.instructions > 10_000
+
+    def test_deterministic(self, name):
+        image = load_benchmark(name, "test")
+        a = run_native(Process(image))
+        b = run_native(Process(image))
+        assert a.output == b.output
+        assert a.cycles == b.cycles
+
+
+# Transparency across the full suite is the expensive king of tests; it
+# runs every benchmark under the full runtime configuration.
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_transparent_under_full_runtime(name):
+    image = load_benchmark(name, "test")
+    native = run_native(Process(image))
+    dr = DynamoRIO(Process(image), options=RuntimeOptions.with_traces())
+    result = dr.run()
+    assert result.output == native.output, name
+    assert result.exit_code == native.exit_code, name
+
+
+def _opcode_histogram(image):
+    from collections import Counter
+
+    counts = Counter()
+    for section in image.sections:
+        if section.writable:
+            continue
+        off = 0
+        while off < len(section.data):
+            try:
+                d = decode_full(section.data, off, pc=section.addr + off)
+            except Exception:
+                break
+            counts[d.opcode] += 1
+            off += d.length
+    return counts
+
+
+class TestPaperArtifacts:
+    """Each client's target artifact must exist in the right benchmarks."""
+
+    def test_parser_has_jump_tables(self):
+        counts = _opcode_histogram(load_benchmark("parser", "test"))
+        assert counts[Opcode.JMP_IND] >= 1
+
+    def test_perlbmk_has_indirect_calls(self):
+        counts = _opcode_histogram(load_benchmark("perlbmk", "test"))
+        assert counts[Opcode.CALL_IND] >= 1
+
+    def test_fp_benchmarks_use_fp_opcodes(self):
+        for name in ("mgrid", "swim", "applu"):
+            counts = _opcode_histogram(load_benchmark(name, "test"))
+            fp_ops = counts[Opcode.FLD] + counts[Opcode.FADD] + counts[Opcode.FMUL]
+            assert fp_ops > 10, name
+
+    def test_int_benchmarks_have_incdec(self):
+        for name in ("gzip", "vortex", "parser"):
+            counts = _opcode_histogram(load_benchmark(name, "test"))
+            assert counts[Opcode.INC] + counts[Opcode.DEC] >= 1, name
+
+    def test_call_density_highest_in_vortex_like(self):
+        vortex = _opcode_histogram(load_benchmark("vortex", "test"))
+        assert vortex[Opcode.CALL] >= 5
+
+    def test_scales_change_work(self):
+        small = run_native(Process(load_benchmark("vpr", 1)))
+        bigger = run_native(Process(load_benchmark("vpr", 2)))
+        assert bigger.instructions > small.instructions * 1.5
