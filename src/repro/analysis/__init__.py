@@ -1,22 +1,72 @@
-"""Dataflow analyses over linear instruction streams.
+"""Static analysis over linear instruction streams.
 
 The paper's single-entry/multiple-exit restriction is what makes these
-analyses linear scans rather than fixed-point iterations — this package
-is the demonstration of that claim.  Used by the optimization clients
-(flags-liveness scans) and by instrumentation clients that need to
-insert flag-writing code without saving eflags.
+analyses single passes rather than fixed-point iterations — this package
+is the demonstration of that claim.  Three layers:
+
+* :mod:`repro.analysis.dataflow` — the generic lattice/solver framework
+  (one backward or forward pass over a linear InstrList);
+* :mod:`repro.analysis.liveness` — register and eflags liveness
+  instantiated on the framework; used by the optimization clients
+  (flags-liveness scans) and by instrumentation clients that need to
+  insert flag-writing code without saving eflags;
+* :mod:`repro.analysis.verifier` (+ :mod:`repro.analysis.rules`) — the
+  fragment verifier: a pluggable rule registry producing structured
+  diagnostics over fragments headed for the code cache, enabled at
+  runtime with ``RuntimeOptions(verify_fragments=True)`` and offline via
+  ``python -m repro.tools.lint``.
 """
 
+from repro.analysis.dataflow import (
+    BACKWARD,
+    DataflowProblem,
+    DataflowResult,
+    FORWARD,
+    solve,
+)
 from repro.analysis.liveness import (
+    GPR_UNIVERSE,
+    EflagsLiveness,
+    RegisterLiveness,
     eflags_dead_before,
     find_dead_flags_point,
     instr_use_def,
+    live_eflags,
+    live_registers,
     registers_written_before_read,
+)
+from repro.analysis.verifier import (
+    Diagnostic,
+    Rule,
+    Severity,
+    VerificationError,
+    all_rules,
+    assert_fragment_valid,
+    register_rule,
+    verify_fragment,
 )
 
 __all__ = [
+    "BACKWARD",
+    "DataflowProblem",
+    "DataflowResult",
+    "Diagnostic",
+    "EflagsLiveness",
+    "FORWARD",
+    "GPR_UNIVERSE",
+    "RegisterLiveness",
+    "Rule",
+    "Severity",
+    "VerificationError",
+    "all_rules",
+    "assert_fragment_valid",
     "eflags_dead_before",
     "find_dead_flags_point",
     "instr_use_def",
+    "live_eflags",
+    "live_registers",
+    "register_rule",
     "registers_written_before_read",
+    "solve",
+    "verify_fragment",
 ]

@@ -1,20 +1,37 @@
 """Liveness on linear streams: eflags and registers.
 
-All analyses are *forward scans with conservative exits*: any control
-transfer that can leave the fragment (an exit CTI, an indirect branch,
-a call, a clean call) is assumed to expose every flag and register to
-unknown code.  On a linear InstrList this makes each query a single
-O(n) walk — the efficiency the paper buys with its single-entry,
-multiple-exit restriction.
+Both analyses are *backward* dataflow problems solved in one pass by
+:mod:`repro.analysis.dataflow` — the efficiency the paper buys with its
+single-entry, multiple-exit restriction.  Conservatism at the edges:
+any control transfer that can leave the fragment (an exit CTI, an
+indirect branch, a call, a clean call) is assumed to expose every flag
+and register to unknown code, as is falling off the end of the list and
+any un-decoded Level-0 bundle.
+
+The query helpers (:func:`eflags_dead_before`,
+:func:`find_dead_flags_point`, :func:`registers_written_before_read`)
+keep the historical forward-scan API; internally they read the backward
+solution, which additionally handles client-inserted intra-fragment
+label branches precisely instead of treating them as barriers.
 """
 
+from repro.analysis.dataflow import BACKWARD, DataflowProblem, solve
 from repro.isa.eflags import EFLAGS_READ_ALL, EFLAGS_WRITE_ALL, writes_to_reads
 from repro.isa.operands import MemOperand, RegOperand
+from repro.isa.registers import Reg
+
+# The general-purpose register universe, derived from the ISA definition
+# so the analysis cannot drift from ``repro.isa.registers``.
+GPR_UNIVERSE = frozenset(Reg)
+
+
+def _is_clean_call(instr):
+    return isinstance(instr.note, dict) and bool(instr.note.get("clean_call"))
 
 
 def _is_barrier(instr):
     """Instructions past which liveness is unknowable."""
-    if isinstance(instr.note, dict) and instr.note.get("clean_call"):
+    if _is_clean_call(instr):
         return True
     return instr.is_cti() or instr.is_exit_cti
 
@@ -40,33 +57,76 @@ def instr_use_def(instr):
     return reads, writes
 
 
+class RegisterLiveness(DataflowProblem):
+    """Backward register liveness; states are frozensets of ``Reg``."""
+
+    direction = BACKWARD
+
+    def boundary(self):
+        return GPR_UNIVERSE
+
+    def transfer(self, instr, state):
+        if instr.is_bundle or _is_clean_call(instr):
+            # un-decoded code / a clean call: unknown uses
+            return GPR_UNIVERSE
+        if instr.is_label():
+            return state
+        reads, writes = instr_use_def(instr)
+        if writes or reads:
+            return frozenset((state - writes) | reads)
+        return state
+
+    def join(self, a, b):
+        return a | b
+
+
+class EflagsLiveness(DataflowProblem):
+    """Backward eflags liveness; states are read-effect bitmasks."""
+
+    direction = BACKWARD
+
+    def boundary(self):
+        return EFLAGS_READ_ALL
+
+    def transfer(self, instr, state):
+        if instr.is_bundle or _is_clean_call(instr):
+            return EFLAGS_READ_ALL
+        if instr.is_label():
+            return state
+        effects = instr.eflags
+        return (state & ~writes_to_reads(effects)) | (effects & EFLAGS_READ_ALL)
+
+    def join(self, a, b):
+        return a | b
+
+
+def live_registers(ilist):
+    """Solve register liveness over the whole list.
+
+    Returns a :class:`~repro.analysis.dataflow.DataflowResult` whose
+    ``before``/``after`` states are frozensets of live ``Reg`` values.
+    """
+    return solve(RegisterLiveness(), ilist)
+
+
+def live_eflags(ilist):
+    """Solve eflags liveness over the whole list.
+
+    Returns a :class:`~repro.analysis.dataflow.DataflowResult` whose
+    ``before``/``after`` states are ``EFLAGS_READ_*`` bitmasks of the
+    flags some path may still read.
+    """
+    return solve(EflagsLiveness(), ilist)
+
+
 def eflags_dead_before(ilist, where):
     """Whether all six arithmetic flags are dead just before ``where``.
 
-    Dead means: scanning forward from ``where``, every flag is written
-    (without first being read) before any barrier.  This is the general
+    Dead means no path from ``where`` reads any flag before it is
+    rewritten; ``where``'s own flag writes count.  This is the general
     form of the Figure 3 client's CF scan.
     """
-    needed = EFLAGS_WRITE_ALL
-    node = where
-    while node is not None:
-        # clean-call pseudos are LABEL-opcode: test barriers first
-        if isinstance(node.note, dict) and node.note.get("clean_call"):
-            return False
-        if not node.is_label():
-            effects = node.eflags
-            if effects & EFLAGS_READ_ALL:
-                # a flag still needed is read: live
-                reads = effects & EFLAGS_READ_ALL
-                if writes_to_reads(needed) & reads:
-                    return False
-            needed &= ~(effects & EFLAGS_WRITE_ALL)
-            if needed == 0:
-                return True
-            if _is_barrier(node):
-                return False
-        node = node.next
-    return False
+    return live_eflags(ilist).before(where) == 0
 
 
 def find_dead_flags_point(ilist):
@@ -76,10 +136,13 @@ def find_dead_flags_point(ilist):
     exists.  Instrumentation clients use this to place flag-writing
     counters without an eflags save/restore.
     """
+    result = live_eflags(ilist)
     for instr in ilist:
+        if instr.is_bundle:
+            return None
         if instr.is_label():
             continue
-        if eflags_dead_before(ilist, instr):
+        if result.before(instr) == 0:
             return instr
         if _is_barrier(instr):
             return None
@@ -87,30 +150,11 @@ def find_dead_flags_point(ilist):
 
 
 def registers_written_before_read(ilist, where):
-    """Registers provably dead just before ``where``: written (without
-    an earlier read) before any barrier on the forward scan.
+    """Registers provably dead just before ``where``: no path from
+    ``where`` reads them before writing them.
 
     A client may use such a register as scratch at that point without
-    spilling.  Conservative: barriers end the scan with the remaining
-    candidates removed.
+    spilling.  Conservative: exits, clean calls, and un-decoded bundles
+    keep every register live.
     """
-    candidates = set(range(8))
-    dead = set()
-    node = where
-    while node is not None and candidates:
-        if isinstance(node.note, dict) and node.note.get("clean_call"):
-            break
-        if not node.is_label():
-            if node.is_bundle:
-                break  # un-decoded code: unknown uses
-            reads, writes = instr_use_def(node)
-            for reg in reads:
-                candidates.discard(reg)
-            for reg in writes:
-                if reg in candidates:
-                    dead.add(reg)
-                    candidates.discard(reg)
-            if _is_barrier(node):
-                break
-        node = node.next
-    return dead
+    return set(GPR_UNIVERSE - live_registers(ilist).before(where))

@@ -1,0 +1,24 @@
+"""Built-in fragment verifier rules.
+
+Importing this package registers every built-in rule with the
+:mod:`repro.analysis.verifier` registry, in a deliberate order: cheap
+structural checks first (linearity, level consistency), then the
+dataflow-backed safety rules (eflags, scratch registers, transparency).
+
+Out-of-tree rules register the same way::
+
+    from repro.analysis.verifier import Rule, register_rule
+
+    @register_rule
+    class MyRule(Rule):
+        rule_id = "my-rule"
+        def check(self, ctx):
+            ...
+            yield self.error(ctx, instr, "message")
+"""
+
+from repro.analysis.rules import linearity  # noqa: F401  (isort: skip)
+from repro.analysis.rules import levels  # noqa: F401
+from repro.analysis.rules import eflags_safety  # noqa: F401
+from repro.analysis.rules import scratch  # noqa: F401
+from repro.analysis.rules import transparency  # noqa: F401

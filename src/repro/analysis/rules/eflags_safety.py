@@ -1,0 +1,58 @@
+"""Eflags safety for client-inserted (meta) instructions.
+
+The Figure 3 discipline: a client may insert flag-writing code only
+where the application's condition codes are dead, or it must bracket
+the insertion with an explicit save/restore.  This rule runs the
+backward eflags liveness solution and reports every meta instruction
+whose flag writes land on flags some later application instruction may
+still read.
+
+An instruction carrying a truthy ``note["eflags_saved"]`` is exempt:
+the client asserts it restores the flags itself (e.g. via lahf/sahf
+equivalents or a clean-call spill).
+"""
+
+from repro.analysis.verifier import Rule, register_rule
+from repro.isa.eflags import (
+    EFLAGS_WRITE_ALL,
+    eflags_to_string,
+    reads_to_writes,
+    writes_to_reads,
+)
+
+
+def _flag_list(read_mask):
+    """Render a read-effects mask as a flag-name list, e.g. ``CF, ZF``."""
+    letters = eflags_to_string(reads_to_writes(read_mask))
+    return letters[1:] if letters.startswith("W") else letters
+
+
+@register_rule
+class EflagsSafetyRule(Rule):
+    rule_id = "eflags-safety"
+    description = (
+        "meta instructions write condition codes only where the "
+        "application's flags are dead (or under an explicit save)"
+    )
+
+    def check(self, ctx):
+        for instr in ctx.nodes:
+            if instr.is_bundle or not ctx.is_meta(instr):
+                continue
+            if instr.is_label():
+                continue
+            writes = instr.eflags & EFLAGS_WRITE_ALL
+            if not writes:
+                continue
+            if ctx.note(instr, "eflags_saved"):
+                continue
+            clobbered = writes_to_reads(writes) & ctx.flag_liveness.after(instr)
+            if clobbered:
+                yield self.error(
+                    ctx,
+                    instr,
+                    "meta %s clobbers live application flags %s; insert at "
+                    "a dead-flags point (find_dead_flags_point) or "
+                    "save/restore eflags"
+                    % (instr.info.name, _flag_list(clobbered)),
+                )

@@ -1,0 +1,170 @@
+"""Level-of-detail consistency (the paper's Section 3.1 invariants).
+
+The adaptive representation is only sound while each level tells the
+truth: Level-0 bundles must still be clean straight-line byte runs
+(mutating one is a client bug — they must be expanded first), raw bits
+claimed valid must still decode to the recorded opcode, every
+instruction headed for the cache must have an encoder template, and a
+Level-4 instruction must survive an encode→decode round trip — the
+property that makes ``emit`` a byte-copy-or-template-search with no
+third case.
+"""
+
+from repro.analysis.verifier import Rule, register_rule
+from repro.ir.instr import LabelRef
+from repro.ir.levels import LEVEL_2, LEVEL_3, LEVEL_4
+from repro.isa.decoder import decode_boundary, decode_full, decode_opcode
+from repro.isa.encoder import EncodeError, encode_instr
+from repro.isa.opcodes import OP_INFO
+from repro.isa.operands import PcOperand
+from repro.isa.templates import has_template
+
+
+@register_rule
+class LevelConsistencyRule(Rule):
+    rule_id = "levels"
+    description = (
+        "bundles decode cleanly and stay straight-line, raw bits match "
+        "decoded opcodes, every instruction has an encoder template, "
+        "Level-4 instructions round-trip encode→decode"
+    )
+
+    def check(self, ctx):
+        for instr in ctx.nodes:
+            if instr.is_bundle:
+                yield from self._check_bundle(ctx, instr)
+                continue
+            if instr.level < LEVEL_2:
+                # Level 1: raw bytes of exactly one instruction.
+                yield from self._check_raw(ctx, instr)
+                continue
+            if instr.is_label():
+                continue
+            yield from self._check_decoded(ctx, instr)
+
+    # ------------------------------------------------------------- level 0
+
+    def _check_bundle(self, ctx, instr):
+        raw = instr.raw
+        if not raw:
+            yield self.error(ctx, instr, "Level-0 bundle with no raw bytes")
+            return
+        off = 0
+        while off < len(raw):
+            try:
+                opcode, _eflags, length = decode_opcode(raw, off)
+            except Exception as exc:
+                yield self.error(
+                    ctx,
+                    instr,
+                    "bundle bytes undecodable at +%d: %s" % (off, exc),
+                )
+                return
+            if OP_INFO[opcode].is_cti:
+                yield self.error(
+                    ctx,
+                    instr,
+                    "bundle contains a control transfer (%s at +%d); "
+                    "bundles must be straight-line runs"
+                    % (OP_INFO[opcode].name, off),
+                )
+            off += length
+        if off != len(raw):
+            yield self.error(
+                ctx,
+                instr,
+                "bundle boundary overrun: decode consumed %d of %d bytes"
+                % (off, len(raw)),
+            )
+
+    # ------------------------------------------------------------- level 1
+
+    def _check_raw(self, ctx, instr):
+        raw = instr.raw
+        if not raw:
+            yield self.error(ctx, instr, "Level-1 instruction with no raw bytes")
+            return
+        try:
+            n = decode_boundary(raw, 0)
+        except Exception as exc:
+            yield self.error(ctx, instr, "raw bytes undecodable: %s" % exc)
+            return
+        if n != len(raw):
+            yield self.error(
+                ctx,
+                instr,
+                "raw length %d disagrees with decoded boundary %d"
+                % (len(raw), n),
+            )
+
+    # ----------------------------------------------------------- level 2-4
+
+    def _check_decoded(self, ctx, instr):
+        if not has_template(instr.opcode):
+            yield self.error(
+                ctx,
+                instr,
+                "opcode %s has no encoder template and cannot enter the "
+                "cache" % instr.info.name,
+            )
+            return
+        if instr.raw_bits_valid():
+            if instr.level in (LEVEL_2, LEVEL_3):
+                try:
+                    opcode, _eflags, _length = decode_opcode(instr.raw, 0)
+                except Exception as exc:
+                    yield self.error(
+                        ctx, instr, "raw bytes undecodable: %s" % exc
+                    )
+                    return
+                if opcode != instr.opcode:
+                    yield self.error(
+                        ctx,
+                        instr,
+                        "stale raw bits: bytes decode to %s but instruction "
+                        "claims %s (mutation without invalidation)"
+                        % (OP_INFO[opcode].name, instr.info.name),
+                    )
+            return
+        if instr.level == LEVEL_4:
+            yield from self._check_round_trip(ctx, instr)
+
+    def _check_round_trip(self, ctx, instr):
+        explicit = tuple(
+            PcOperand(0) if isinstance(op, LabelRef) else op
+            for op in instr.explicit_operands()
+        )
+        try:
+            raw = encode_instr(
+                instr.opcode, explicit, pc=0, prefixes=instr.prefixes
+            )
+        except EncodeError as exc:
+            yield self.error(
+                ctx,
+                instr,
+                "no encoding for %s %r: %s" % (instr.info.name, explicit, exc),
+            )
+            return
+        try:
+            d = decode_full(raw, 0, pc=0)
+        except Exception as exc:
+            yield self.error(
+                ctx,
+                instr,
+                "encoded bytes %s do not decode: %s" % (raw.hex(), exc),
+            )
+            return
+        if d.opcode != instr.opcode:
+            yield self.error(
+                ctx,
+                instr,
+                "round-trip infidelity: %s encodes to bytes that decode "
+                "as %s" % (instr.info.name, OP_INFO[d.opcode].name),
+            )
+        elif d.eflags != instr.eflags:
+            yield self.error(
+                ctx,
+                instr,
+                "round-trip infidelity: eflags effects changed for %s"
+                % instr.info.name,
+            )

@@ -1,0 +1,95 @@
+"""Linearity: fragments are single-entry, multiple-exit, join-free.
+
+The paper's Section 3.1 restriction, enforced by construction in
+:class:`~repro.ir.instrlist.InstrList` for the *builders* but trivially
+violated by a buggy client: every control transfer must either leave
+the fragment (a direct exit, an indirect branch) or be a forward branch
+to a LABEL inside the same list; backward label references create
+internal joins/loops the lowering cannot express; labels nobody targets
+are dead weight; and exit CTIs must actually exit.
+"""
+
+from repro.analysis.verifier import Rule, register_rule
+from repro.ir.instr import LabelRef
+from repro.isa.opcodes import Opcode
+
+
+@register_rule
+class LinearityRule(Rule):
+    rule_id = "linearity"
+    description = (
+        "single entry, every CTI exits or forward-branches to an "
+        "internal label, no stray labels"
+    )
+
+    def check(self, ctx):
+        label_pos = {}
+        for i, node in enumerate(ctx.nodes):
+            if not node.is_bundle and node.level >= 2 and node.is_label():
+                label_pos[id(node)] = i
+        targeted = set()
+
+        # Forward reachability: code after an unconditional transfer is
+        # dead unless a targeted label re-enters it.
+        reachable = True
+
+        for i, instr in enumerate(ctx.nodes):
+            if instr.is_bundle:
+                continue
+            if instr.is_label():
+                if id(instr) in targeted:
+                    reachable = True
+                continue
+            if not reachable:
+                yield self.warning(
+                    ctx,
+                    instr,
+                    "unreachable: follows an unconditional transfer with "
+                    "no intervening targeted label",
+                )
+            if not instr.is_cti():
+                continue
+
+            target = instr.target
+            if isinstance(target, LabelRef):
+                label = target.label
+                if instr.is_exit_cti:
+                    yield self.error(
+                        ctx,
+                        instr,
+                        "exit CTI targets an internal label; exits must "
+                        "leave the fragment",
+                    )
+                if instr.opcode != Opcode.JMP and not instr.is_cond_branch():
+                    yield self.error(
+                        ctx,
+                        instr,
+                        "only jmp/jcc may target internal labels, not %s"
+                        % instr.info.name,
+                    )
+                pos = label_pos.get(id(label))
+                if pos is None:
+                    yield self.error(
+                        ctx, instr, "branch targets a label outside this fragment"
+                    )
+                else:
+                    targeted.add(id(label))
+                    if pos <= i:
+                        yield self.error(
+                            ctx,
+                            instr,
+                            "backward label reference creates an internal "
+                            "join point (fragments must stay linear)",
+                        )
+                if instr.is_cond_branch():
+                    continue  # falls through; stays reachable
+            elif instr.is_cond_branch() or self._falls_through(ctx, instr):
+                continue
+            reachable = False
+
+    @staticmethod
+    def _falls_through(ctx, instr):
+        # Trace-inlined constructs continue on-trace past the CTI.
+        return bool(
+            ctx.note(instr, "inline") or ctx.note(instr, "inline_target") is not None
+        )

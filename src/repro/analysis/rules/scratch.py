@@ -1,0 +1,53 @@
+"""Scratch-register safety for client-inserted (meta) instructions.
+
+A meta instruction may freely write a register that is *dead* — no path
+from here reads it before the application rewrites it — which is what
+:func:`repro.analysis.liveness.registers_written_before_read` hands to
+clients.  Writing a *live* register destroys application state the
+fragment still needs.
+
+A proper spill/use/restore sequence passes without special-casing: the
+restore's write is what kills the register's liveness over the scratch
+region, so the intermediate scratch writes see a dead register.  An
+instruction that deliberately reinstates application state (the restore
+itself, when expressed as an inserted instruction rather than a clean
+call) declares it with a truthy ``note["restore"]``.
+"""
+
+from repro.analysis.liveness import instr_use_def
+from repro.analysis.verifier import Rule, register_rule
+from repro.isa.registers import REG_NAMES
+
+
+@register_rule
+class ScratchRegisterRule(Rule):
+    rule_id = "scratch-registers"
+    description = (
+        "meta instructions write only dead registers (scratch) unless "
+        "marked as a restore"
+    )
+
+    def check(self, ctx):
+        for instr in ctx.nodes:
+            if instr.is_bundle or not ctx.is_meta(instr):
+                continue
+            if instr.is_label():
+                continue
+            if ctx.note(instr, "restore"):
+                continue
+            _reads, writes = instr_use_def(instr)
+            if not writes:
+                continue
+            clobbered = writes & ctx.reg_liveness.after(instr)
+            if clobbered:
+                names = ", ".join(
+                    REG_NAMES[r] for r in sorted(clobbered)
+                )
+                yield self.error(
+                    ctx,
+                    instr,
+                    "meta %s writes live register(s) %s without a spill; "
+                    "pick a dead register (registers_written_before_read) "
+                    "or save/restore around the insertion"
+                    % (instr.info.name, names),
+                )

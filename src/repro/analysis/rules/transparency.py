@@ -1,0 +1,105 @@
+"""Transparency lint for client-inserted (meta) instructions.
+
+The paper's Section 3.3: the runtime must remain invisible to the
+application.  Client code woven into a fragment therefore must not
+
+* touch the application stack or stack pointer (``push``/``pop``/
+  ``call``/``ret`` and friends, or any write through/into ``esp``);
+* write application memory — any memory destination addressed through
+  registers is application-relative; an absolute destination is allowed
+  only when it lands in runtime-private memory (heap, code cache), as
+  classified by the :class:`~repro.analysis.verifier.FragmentContext`'s
+  ``is_runtime_addr`` predicate.  Offline, with no runtime to ask, an
+  absolute write gets the benefit of the doubt;
+* transfer control outside the fragment on its own — meta control flow
+  is limited to forward branches to internal labels; everything else
+  must go through clean calls or exit stubs the runtime mangles.
+"""
+
+from repro.analysis.verifier import Rule, register_rule
+from repro.ir.instr import LabelRef
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import MemOperand, RegOperand
+from repro.isa.registers import Reg
+
+# Opcodes that implicitly use the application stack or trap to the
+# kernel; never transparent when client-inserted.
+_FORBIDDEN_META_OPS = {
+    Opcode.PUSH: "pushes onto the application stack",
+    Opcode.POP: "pops the application stack",
+    Opcode.CALL: "pushes a return address onto the application stack",
+    Opcode.CALL_IND: "pushes a return address onto the application stack",
+    Opcode.RET: "pops the application stack",
+    Opcode.IRET: "pops the application stack",
+    Opcode.SYSCALL: "enters the kernel outside runtime control",
+    Opcode.HALT: "halts the application",
+}
+
+
+@register_rule
+class TransparencyRule(Rule):
+    rule_id = "transparency"
+    description = (
+        "meta instructions avoid the application stack, application "
+        "memory writes, and out-of-fragment control flow"
+    )
+
+    def check(self, ctx):
+        for instr in ctx.nodes:
+            if instr.is_bundle or not ctx.is_meta(instr):
+                continue
+            if instr.is_label():
+                continue
+
+            reason = _FORBIDDEN_META_OPS.get(instr.opcode)
+            if reason is not None:
+                yield self.error(
+                    ctx,
+                    instr,
+                    "meta %s %s; use a clean call instead"
+                    % (instr.info.name, reason),
+                )
+                continue
+
+            if instr.is_cti():
+                if not isinstance(instr.target, LabelRef):
+                    yield self.error(
+                        ctx,
+                        instr,
+                        "meta control transfer leaves the fragment; meta "
+                        "branches may only target internal labels",
+                    )
+                continue
+
+            for op in instr.dsts:
+                if isinstance(op, RegOperand):
+                    if op.reg == Reg.ESP:
+                        yield self.error(
+                            ctx,
+                            instr,
+                            "meta %s modifies the application stack pointer"
+                            % instr.info.name,
+                        )
+                elif isinstance(op, MemOperand):
+                    yield from self._check_mem_write(ctx, instr, op)
+
+    def _check_mem_write(self, ctx, instr, op):
+        if op.base is not None or op.index is not None:
+            yield self.error(
+                ctx,
+                instr,
+                "meta %s writes application-relative memory %r; clients "
+                "may only write runtime-private absolute addresses"
+                % (instr.info.name, op),
+            )
+            return
+        if ctx.is_runtime_addr is None:
+            return  # offline: cannot classify, give benefit of the doubt
+        if not ctx.is_runtime_addr(op.disp & 0xFFFFFFFF):
+            yield self.error(
+                ctx,
+                instr,
+                "meta %s writes absolute address 0x%x outside "
+                "runtime-private memory"
+                % (instr.info.name, op.disp & 0xFFFFFFFF),
+            )

@@ -139,11 +139,44 @@ def dr_insert_clean_call(ilist, where, fn):
     """
     pseudo = Instr.label()
     pseudo.note = {"clean_call": fn}
+    pseudo.is_meta = True
     if where is None:
         ilist.append(pseudo)
     else:
         ilist.insert_before(where, pseudo)
     return pseudo
+
+
+# --------------------------------------------------------- meta instructions
+
+
+def instr_set_meta(instr, meta=True):
+    """Mark ``instr`` as a meta-instruction: client instrumentation that
+    executes for the client, not the application.
+
+    The fragment verifier (``RuntimeOptions(verify_fragments=True)``)
+    holds meta-instructions to the transparency rules: no clobbering of
+    live eflags or registers, no writes to application memory.  Returns
+    the instruction for chaining.
+    """
+    instr.is_meta = bool(meta)
+    return instr
+
+
+def instr_is_meta(instr):
+    return instr.is_meta
+
+
+def dr_insert_meta_instr(ilist, where, instr):
+    """Insert ``instr`` before ``where`` (append when None), marked as a
+    meta-instruction so the fragment verifier checks it for
+    transparency."""
+    instr_set_meta(instr)
+    if where is None:
+        ilist.append(instr)
+    else:
+        ilist.insert_before(where, instr)
+    return instr
 
 
 def dr_set_ind_branch_checker(instr, fn):

@@ -13,7 +13,12 @@ in application memory — transparency as in Section 3.2.
 
 from repro.analysis import find_dead_flags_point
 from repro.api.client import Client
-from repro.api.dr import dr_global_alloc, dr_insert_clean_call, dr_printf
+from repro.api.dr import (
+    dr_global_alloc,
+    dr_insert_clean_call,
+    dr_insert_meta_instr,
+    dr_printf,
+)
 from repro.core.bb_builder import block_instr_count
 from repro.ir.create import INSTR_CREATE_add, OPND_CREATE_INT32, OPND_CREATE_MEM
 
@@ -41,7 +46,7 @@ class InlineInstructionCounter(Client):
                 OPND_CREATE_MEM(disp=self.counter_addr),
                 OPND_CREATE_INT32(count),
             )
-            ilist.insert_before(point, bump)
+            dr_insert_meta_instr(ilist, point, bump)
             self.inline_blocks += 1
         else:
             def bump_cb(_context, _n=count):

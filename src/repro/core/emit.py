@@ -95,8 +95,42 @@ def _return_address(instr):
     )
 
 
-def emit_fragment(tag, kind, ilist, cost_model, options, stats=None):
+def _verify_before_emit(tag, kind, ilist, runtime):
+    """Run the fragment verifier on a client-processed InstrList.
+
+    Called before bundle expansion so the Level-0 invariants are still
+    observable.  Exit-stub code attached to exit CTIs is verified as its
+    own ``"stub"`` fragment.  Errors raise
+    :class:`~repro.analysis.verifier.VerificationError`; warnings are
+    collected on ``runtime.verifier_diagnostics`` when available.
+    """
+    # Imported lazily: verification is a debug mode and repro.analysis
+    # pulls in the whole rules package.
+    from repro.analysis.verifier import assert_fragment_valid
+
+    is_runtime_addr = None
+    if runtime is not None:
+        is_runtime_addr = runtime.is_runtime_address
+    where = "tag=0x%x kind=%s" % (tag, kind)
+    diagnostics = assert_fragment_valid(
+        ilist, kind=kind, is_runtime_addr=is_runtime_addr, where=where
+    )
+    for instr in ilist:
+        if instr.exit_stub_code is not None:
+            diagnostics += assert_fragment_valid(
+                instr.exit_stub_code,
+                kind="stub",
+                is_runtime_addr=is_runtime_addr,
+                where=where + " (exit stub)",
+            )
+    if runtime is not None and diagnostics:
+        runtime.verifier_diagnostics.extend(diagnostics)
+
+
+def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=None):
     """Lower an InstrList into a :class:`Fragment` (not yet placed)."""
+    if options is not None and getattr(options, "verify_fragments", False):
+        _verify_before_emit(tag, kind, ilist, runtime)
     ilist.expand_bundles()
     fragment = Fragment(tag, kind)
     code = []

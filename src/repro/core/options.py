@@ -20,6 +20,7 @@ class RuntimeOptions:
         thread_private=True,
         code_cache_limit=None,
         sideline_optimization=False,
+        verify_fragments=False,
     ):
         # Table 1 mechanisms, cumulative.
         self.bb_cache = bb_cache
@@ -38,6 +39,9 @@ class RuntimeOptions:
         # processor, so their cycles leave the application's critical
         # path (tracked separately as the "sideline_cycles" event).
         self.sideline_optimization = sideline_optimization
+        # Debug mode: run the fragment verifier (repro.analysis.verifier)
+        # over every InstrList after client hooks, raising on errors.
+        self.verify_fragments = verify_fragments
 
     def copy(self):
         new = RuntimeOptions()

@@ -49,6 +49,9 @@ class DynamoRIO:
         self.counter = CycleCounter()
         self.stats = RuntimeStats()
         self._register_runtime_regions()
+        # Warnings (and, pre-raise, errors) from the fragment verifier
+        # when options.verify_fragments is enabled.
+        self.verifier_diagnostics = []
         lay = process.layout
         self.threads = []
         self.current_thread = self._new_thread(lay)
@@ -69,6 +72,17 @@ class DynamoRIO:
             self.memory.add_region(
                 "code_cache", lay.CODE_CACHE_BASE, lay.CODE_CACHE_SIZE
             )
+
+    def is_runtime_address(self, addr):
+        """Whether ``addr`` lies in runtime-private memory.
+
+        The fragment verifier's transparency rule uses this to allow
+        client writes into the runtime heap (``dr_global_alloc``
+        storage) and the code cache while rejecting writes into
+        application memory.
+        """
+        region = self.memory.region_containing(addr)
+        return region is not None and region.name in ("runtime_heap", "code_cache")
 
     def _new_thread(self, lay):
         base = lay.CODE_CACHE_BASE + len(self.threads) * 0x100000
@@ -110,7 +124,8 @@ class DynamoRIO:
             self.counter.cycles += self.cost.client_bb_hook_per_instr * count
             self.client.basic_block(thread, tag, ilist)
         fragment = emit_fragment(
-            tag, Fragment.KIND_BB, ilist, self.cost, self.options, self.stats
+            tag, Fragment.KIND_BB, ilist, self.cost, self.options, self.stats,
+            runtime=self,
         )
         if tag in self.pending_trace_heads:
             fragment.is_trace_head = True
@@ -259,6 +274,7 @@ class DynamoRIO:
             self.cost,
             self.options,
             self.stats,
+            runtime=self,
         )
         self._place(thread.trace_cache, fragment)
         thread.ibl.insert(fragment)
@@ -501,7 +517,8 @@ class DynamoRIO:
         if old is None:
             return False
         new = emit_fragment(
-            tag, old.kind, ilist, self.cost, self.options, self.stats
+            tag, old.kind, ilist, self.cost, self.options, self.stats,
+            runtime=self,
         )
         new.is_trace_head = old.is_trace_head
         new.head_counter = old.head_counter

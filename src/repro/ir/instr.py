@@ -72,6 +72,7 @@ class Instr:
         "next",
         "owner",
         "note",
+        "is_meta",
         "is_exit_cti",
         "exit_stub_code",
         "exit_always_stub",
@@ -91,6 +92,11 @@ class Instr:
         self.next = None
         self.owner = None  # the InstrList this node is linked into
         self.note = None
+        # Meta-instructions (client-inserted instrumentation) execute
+        # for the client's benefit, not the application's: the fragment
+        # verifier holds them to the transparency rules (no application
+        # state clobbered).  Mark via dr.instr_set_meta().
+        self.is_meta = False
         # Exit-CTI support (paper Section 3.2, custom exit stubs).
         self.is_exit_cti = False
         self.exit_stub_code = None  # InstrList prepended to this exit's stub
@@ -461,6 +467,7 @@ class Instr:
         new._srcs = list(self._srcs) if self._srcs is not None else None
         new._dsts = list(self._dsts) if self._dsts is not None else None
         new.note = self.note
+        new.is_meta = self.is_meta
         new.is_exit_cti = self.is_exit_cti
         new.exit_always_stub = self.exit_always_stub
         return new

@@ -222,6 +222,16 @@ def _build_decode_maps():
 
 DECODE_ONE_BYTE, DECODE_TWO_BYTE = _build_decode_maps()
 
+
+def has_template(opcode):
+    """Whether the opcode has at least one encoder template.
+
+    LABEL (and any future pseudo-opcode) has none: it must never reach
+    the encoder.  The fragment verifier uses this to reject instruction
+    lists that cannot be lowered into the code cache.
+    """
+    return opcode in ENCODE_TEMPLATES and bool(ENCODE_TEMPLATES[opcode])
+
 # Maximum encoded instruction length: prefix + 2 opcode + modrm + sib +
 # disp32 + imm32.
 MAX_INSTR_LENGTH = 12

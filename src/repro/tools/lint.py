@@ -1,0 +1,286 @@
+"""Offline fragment linter: run the verifier rules over a workload.
+
+Static mode (default) decodes every statically reachable basic block of
+the program image and verifies each one; dynamic mode (``--client``)
+actually runs the program under the runtime with
+``options.verify_fragments`` enabled, so traces and client-transformed
+fragments are verified too.
+
+Usage::
+
+    python -m repro.tools.lint --benchmark mgrid
+    python -m repro.tools.lint program.mc --client inscount
+    python -m repro.tools.lint --benchmark crafty --client all --rules \
+        linearity,levels
+    python -m repro.tools.lint --benchmark mgrid --inject   # exits 1
+
+``--inject`` plants a deliberately unsafe meta-instruction (an
+``add eax, 1`` at the top of every block: live register *and* live
+flags) to prove the pipeline fails builds — CI uses it as a negative
+control.
+
+Exit status: 0 when no rule reports an error, 1 otherwise, 2 on usage
+errors.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.verifier import (
+    VerificationError,
+    all_rules,
+    verify_fragment,
+)
+from repro.api.client import Client
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.core.bb_builder import build_basic_block
+from repro.ir.create import INSTR_CREATE_add, OPND_CREATE_INT32, OPND_CREATE_REG
+from repro.ir.instr import LabelRef
+from repro.isa.operands import PcOperand
+from repro.isa.registers import Reg
+from repro.loader import Process
+from repro.machine.errors import MachineFault
+
+from repro.tools.run import CLIENTS
+
+# Static exploration bound; real images here are far smaller.
+MAX_STATIC_BLOCKS = 10000
+
+
+def _make_violation():
+    """A meta-instruction that is deliberately unsafe at a block entry:
+    writes ``eax`` and all six flags where both are almost surely live."""
+    from repro.api.dr import instr_set_meta
+
+    return instr_set_meta(
+        INSTR_CREATE_add(OPND_CREATE_REG(Reg.EAX), OPND_CREATE_INT32(1))
+    )
+
+
+def _successor_tags(ilist):
+    tags = []
+    for instr in ilist:
+        if instr.is_bundle or not instr.is_cti():
+            continue
+        target = instr.target if instr.num_srcs() else None
+        if isinstance(target, PcOperand):
+            tags.append(target.pc)
+        elif isinstance(target, LabelRef):
+            continue
+        if instr.is_call() and instr.raw_bits_valid() and instr.raw_pc is not None:
+            tags.append(instr.raw_pc + len(instr.raw))
+    return tags
+
+
+class Report:
+    def __init__(self, rules, max_print):
+        self.rules = rules
+        self.max_print = max_print
+        self.fragments = 0
+        self.errors = 0
+        self.warnings = 0
+        self._printed = 0
+
+    def add(self, where, diagnostics):
+        self.fragments += 1
+        for d in diagnostics:
+            if d.is_error:
+                self.errors += 1
+            else:
+                self.warnings += 1
+            if self._printed < self.max_print:
+                print("%s: %s" % (where, d.format()))
+                self._printed += 1
+
+    def summary(self):
+        suppressed = (self.errors + self.warnings) - self._printed
+        if suppressed > 0:
+            print("... %d further diagnostics suppressed" % suppressed)
+        print(
+            "lint: %d fragment(s), %d rule(s), %d error(s), %d warning(s)"
+            % (self.fragments, len(all_rules() if self.rules is None else self.rules),
+               self.errors, self.warnings)
+        )
+
+
+def _lint_static(image, rules, report, inject):
+    process = Process(image)
+    memory = process.memory
+    worklist = [process.entry]
+    seen = set()
+    while worklist and len(seen) < MAX_STATIC_BLOCKS:
+        tag = worklist.pop()
+        if tag in seen:
+            continue
+        seen.add(tag)
+        try:
+            ilist = build_basic_block(memory, tag)
+        except MachineFault:
+            # Synthetic fall-through jumps may point past a hlt into
+            # data; such targets are simply not code.
+            continue
+        worklist.extend(_successor_tags(ilist))
+        if inject:
+            ilist.expand_bundles()
+            first = ilist.first()
+            if first is not None:
+                ilist.insert_before(first, _make_violation())
+        report.add(
+            "bb@0x%x" % tag, verify_fragment(ilist, kind="bb", rules=rules)
+        )
+
+
+class _InjectingClient(Client):
+    """Wraps a client (or None) to plant a violation in every block."""
+
+    def __init__(self, inner):
+        super().__init__()
+        self._inner = inner
+
+    def attach(self, runtime):
+        super().attach(runtime)
+        if self._inner is not None:
+            self._inner.attach(runtime)
+
+    def init(self):
+        if self._inner is not None:
+            self._inner.init()
+
+    def exit(self):
+        if self._inner is not None:
+            self._inner.exit()
+
+    def thread_init(self, context):
+        if self._inner is not None:
+            self._inner.thread_init(context)
+
+    def thread_exit(self, context):
+        if self._inner is not None:
+            self._inner.thread_exit(context)
+
+    def basic_block(self, context, tag, ilist):
+        if self._inner is not None:
+            self._inner.basic_block(context, tag, ilist)
+        ilist.expand_bundles()
+        first = ilist.first()
+        if first is not None:
+            ilist.insert_before(first, _make_violation())
+
+    def trace(self, context, tag, ilist):
+        if self._inner is not None:
+            self._inner.trace(context, tag, ilist)
+
+    def fragment_deleted(self, context, tag):
+        if self._inner is not None:
+            self._inner.fragment_deleted(context, tag)
+
+    def end_trace(self, context, trace_tag, next_tag):
+        if self._inner is not None:
+            return self._inner.end_trace(context, trace_tag, next_tag)
+        return super().end_trace(context, trace_tag, next_tag)
+
+
+def _lint_dynamic(image, client_name, rules, report, inject):
+    if client_name == "shepherd":
+        from repro.clients import ProgramShepherding
+
+        client = ProgramShepherding(image=image)
+    else:
+        client = CLIENTS[client_name]()
+    if inject:
+        client = _InjectingClient(client)
+    options = RuntimeOptions.with_traces()
+    options.verify_fragments = True
+    runtime = DynamoRIO(Process(image), options=options, client=client)
+    try:
+        runtime.run()
+    except VerificationError as exc:
+        report.add(exc.where or "fragment", exc.diagnostics)
+    # Warnings collected along the way (errors raise immediately).
+    if runtime.verifier_diagnostics:
+        report.add("collected", runtime.verifier_diagnostics)
+    else:
+        report.fragments += runtime.stats.bbs_built + runtime.stats.traces_built
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("source", nargs="?", help="MiniC source file")
+    parser.add_argument("--benchmark", help="lint a suite benchmark instead")
+    parser.add_argument("--scale", default="test")
+    parser.add_argument(
+        "--client",
+        default=None,
+        choices=sorted(CLIENTS),
+        help="run dynamically under this client instead of static decode",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--inject",
+        action="store_true",
+        help="plant a deliberate violation in every block (negative control)",
+    )
+    parser.add_argument(
+        "--max-diagnostics", type=int, default=50, metavar="N",
+        help="print at most N diagnostics (default 50)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print("%-18s %s" % (rule.rule_id, rule.description))
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = {rule.rule_id for rule in all_rules()}
+        for rule_id in rules:
+            if rule_id not in known:
+                parser.error(
+                    "unknown rule %r (see --list-rules)" % rule_id
+                )
+
+    if args.benchmark:
+        from repro.workloads import all_benchmarks, load_benchmark
+
+        names = [b.name for b in all_benchmarks()]
+        if args.benchmark not in names:
+            parser.error(
+                "unknown benchmark %r (choices: %s)"
+                % (args.benchmark, ", ".join(sorted(names)))
+            )
+        image = load_benchmark(args.benchmark, args.scale)
+    elif args.source:
+        from repro.minicc import compile_source
+
+        try:
+            with open(args.source) as f:
+                src = f.read()
+        except OSError as exc:
+            parser.error("cannot read %s: %s" % (args.source, exc.strerror))
+        image = compile_source(src)
+    else:
+        parser.error("provide a source file or --benchmark")
+
+    report = Report(rules, args.max_diagnostics)
+    if args.client is None:
+        _lint_static(image, rules, report, args.inject)
+    else:
+        _lint_dynamic(image, args.client, rules, report, args.inject)
+    report.summary()
+    return 1 if report.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,9 @@ CLIENTS = {
     "inscount": lambda: __import__(
         "repro.clients", fromlist=["InstructionCounter"]
     ).InstructionCounter(),
+    "inscount-inline": lambda: __import__(
+        "repro.clients", fromlist=["InlineInstructionCounter"]
+    ).InlineInstructionCounter(),
     "shepherd": lambda: None,  # needs the image; constructed below
 }
 

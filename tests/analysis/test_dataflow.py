@@ -1,0 +1,204 @@
+"""Tests for the generic single-pass dataflow engine."""
+
+from repro.analysis import (
+    BACKWARD,
+    FORWARD,
+    DataflowProblem,
+    live_eflags,
+    live_registers,
+    solve,
+)
+from repro.ir.instr import Instr, LabelRef
+from repro.ir.instrlist import InstrList
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    INSTR_CREATE_call,
+    INSTR_CREATE_cmp,
+    INSTR_CREATE_jmp,
+    INSTR_CREATE_jz,
+    INSTR_CREATE_mov,
+    OPND_CREATE_INT32,
+    OPND_CREATE_PC,
+    OPND_CREATE_REG,
+)
+from repro.isa.registers import Reg
+
+EAX = OPND_CREATE_REG(Reg.EAX)
+EBX = OPND_CREATE_REG(Reg.EBX)
+ECX = OPND_CREATE_REG(Reg.ECX)
+
+
+class WrittenRegs(DataflowProblem):
+    """Forward may-analysis: registers written on some path so far."""
+
+    direction = FORWARD
+
+    def boundary(self):
+        return frozenset()
+
+    def transfer(self, instr, state):
+        if instr.is_bundle or instr.is_label() or instr.is_cti():
+            return state
+        written = {
+            op.reg for op in instr.dsts if op.is_reg()
+        }
+        return frozenset(state | written)
+
+    def join(self, a, b):
+        return a | b
+
+
+def _branch_to(label):
+    return INSTR_CREATE_jz(LabelRef(label))
+
+
+class TestBackwardJoins:
+    def test_branch_taken_path_keeps_register_live(self):
+        # jz skips the write to ebx, so ebx stays live at the branch on
+        # the taken path (it reaches the final read via the label).
+        label = Instr.label()
+        read_ebx = INSTR_CREATE_mov(EAX, EBX)
+        il = InstrList(
+            [
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+                _branch_to(label),
+                INSTR_CREATE_mov(EBX, OPND_CREATE_INT32(1)),
+                label,
+                read_ebx,
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x100)),
+            ]
+        )
+        live = live_registers(il)
+        jcc = [i for i in il if i.is_cond_branch()][0]
+        assert Reg.EBX in live.before(jcc)
+        # after the overwrite, ebx is trivially live (it was just written
+        # and is read at the label)
+        write = [i for i in il if not i.is_label() and i.dsts and i.dsts[0].is_reg()
+                 and i.dsts[0].reg == Reg.EBX][0]
+        assert Reg.EBX not in live.before(write)
+
+    def test_fallthrough_only_liveness_without_branch(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EBX, OPND_CREATE_INT32(1)),
+                INSTR_CREATE_mov(EAX, EBX),
+            ]
+        )
+        live = live_registers(il)
+        assert Reg.EBX not in live.before(il.first())
+
+    def test_exit_cti_joins_exit_state(self):
+        # A direct jmp out of the fragment keeps everything live.
+        il = InstrList([INSTR_CREATE_jmp(OPND_CREATE_PC(0x100))])
+        live = live_registers(il)
+        assert Reg.EAX in live.before(il.first())
+
+    def test_plain_call_does_not_fall_through(self):
+        # A call exits via dispatch; flags written after the call in
+        # list order cannot make flags dead before it.
+        il = InstrList(
+            [
+                INSTR_CREATE_call(OPND_CREATE_PC(0x200)),
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+            ]
+        )
+        flags = live_eflags(il)
+        assert flags.before(il.first()) != 0
+
+    def test_inlined_call_falls_through(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_call(OPND_CREATE_PC(0x200)),
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+            ]
+        )
+        call = il.first()
+        call.note = {"inline": True, "return_addr": 0x300}
+        flags = live_eflags(il)
+        # now the cmp (full flag write) is on the fall-through path, but
+        # the call itself still joins the conservative exit state
+        assert flags.before(il.first()) != 0
+        cmp_instr = [i for i in il if not i.is_cti()][0]
+        assert flags.before(cmp_instr) == 0
+
+
+class TestForwardSolve:
+    def test_straight_line_accumulation(self):
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(1)),
+                INSTR_CREATE_mov(EBX, OPND_CREATE_INT32(2)),
+            ]
+        )
+        result = solve(WrittenRegs(), il)
+        first, second = list(il)
+        assert result.before(first) == frozenset()
+        assert result.after(first) == {Reg.EAX}
+        assert result.after(second) == {Reg.EAX, Reg.EBX}
+
+    def test_label_join_unions_paths(self):
+        label = Instr.label()
+        last = INSTR_CREATE_mov(ECX, OPND_CREATE_INT32(0))
+        il = InstrList(
+            [
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+                _branch_to(label),
+                INSTR_CREATE_mov(EBX, OPND_CREATE_INT32(1)),
+                label,
+                last,
+            ]
+        )
+        result = solve(WrittenRegs(), il)
+        # At the label both paths join: one wrote ebx, one did not.
+        assert result.before(last) == {Reg.EBX}
+        assert result.after(last) == {Reg.EBX, Reg.ECX}
+
+    def test_unreachable_after_unconditional_jmp(self):
+        dead = INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(1))
+        il = InstrList(
+            [
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x100)),
+                dead,
+            ]
+        )
+        result = solve(WrittenRegs(), il)
+        assert result.before(dead) is None
+        assert result.after(dead) is None
+
+    def test_reachable_again_at_targeted_label(self):
+        label = Instr.label()
+        after_label = INSTR_CREATE_mov(ECX, OPND_CREATE_INT32(0))
+        il = InstrList(
+            [
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+                _branch_to(label),
+                INSTR_CREATE_jmp(OPND_CREATE_PC(0x100)),
+                label,
+                after_label,
+            ]
+        )
+        result = solve(WrittenRegs(), il)
+        assert result.before(after_label) == frozenset()
+
+
+class TestDirectionDispatch:
+    def test_problem_direction_is_respected(self):
+        assert WrittenRegs.direction == FORWARD
+
+        class Back(WrittenRegs):
+            direction = BACKWARD
+
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(1)),
+                INSTR_CREATE_mov(EBX, OPND_CREATE_INT32(2)),
+            ]
+        )
+        fwd = solve(WrittenRegs(), il)
+        back = solve(Back(), il)
+        first = il.first()
+        # forward: nothing written before the first instruction;
+        # backward: "before" is computed from the end, so both writes
+        # are already in the state.
+        assert fwd.before(first) == frozenset()
+        assert back.before(first) == {Reg.EAX, Reg.EBX}

@@ -1,0 +1,323 @@
+"""Fragment verifier tests: every rule passes valid fragments and fires
+on crafted invalid ones."""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    VerificationError,
+    assert_fragment_valid,
+    verify_fragment,
+)
+from repro.analysis.verifier import Rule, register_rule
+from repro.api.dr import dr_insert_clean_call, instr_set_meta
+from repro.ir.instr import Instr, LabelRef
+from repro.ir.instrlist import InstrList
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    INSTR_CREATE_call,
+    INSTR_CREATE_cmp,
+    INSTR_CREATE_jmp,
+    INSTR_CREATE_jz,
+    INSTR_CREATE_mov,
+    INSTR_CREATE_push,
+    OPND_CREATE_INT32,
+    OPND_CREATE_MEM,
+    OPND_CREATE_PC,
+    OPND_CREATE_REG,
+)
+from repro.isa.encoder import encode_instr
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import PcOperand
+from repro.isa.registers import Reg
+
+EAX = OPND_CREATE_REG(Reg.EAX)
+EBX = OPND_CREATE_REG(Reg.EBX)
+ESP = OPND_CREATE_REG(Reg.ESP)
+
+
+def errors(ilist, rule, **kw):
+    return [
+        d
+        for d in verify_fragment(ilist, rules=[rule], **kw)
+        if d.severity == Severity.ERROR
+    ]
+
+
+def warnings(ilist, rule, **kw):
+    return [
+        d
+        for d in verify_fragment(ilist, rules=[rule], **kw)
+        if d.severity == Severity.WARNING
+    ]
+
+
+def exit_jmp():
+    return INSTR_CREATE_jmp(OPND_CREATE_PC(0x100))
+
+
+class TestLinearity:
+    def test_valid_forward_branch_passes(self):
+        label = Instr.label()
+        il = InstrList(
+            [
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+                INSTR_CREATE_jz(LabelRef(label)),
+                INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(1)),
+                label,
+                exit_jmp(),
+            ]
+        )
+        assert errors(il, "linearity") == []
+
+    def test_backward_reference_fires(self):
+        label = Instr.label()
+        il = InstrList(
+            [
+                label,
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+                INSTR_CREATE_jz(LabelRef(label)),
+                exit_jmp(),
+            ]
+        )
+        found = errors(il, "linearity")
+        assert any("backward" in d.message for d in found)
+
+    def test_foreign_label_fires(self):
+        elsewhere = Instr.label()
+        il = InstrList([INSTR_CREATE_jz(LabelRef(elsewhere)), exit_jmp()])
+        found = errors(il, "linearity")
+        assert any("outside this fragment" in d.message for d in found)
+
+    def test_exit_cti_to_internal_label_fires(self):
+        label = Instr.label()
+        bad = INSTR_CREATE_jz(LabelRef(label))
+        bad.is_exit_cti = True
+        il = InstrList([bad, label, exit_jmp()])
+        found = errors(il, "linearity")
+        assert any("exit CTI" in d.message for d in found)
+
+    def test_call_to_internal_label_fires(self):
+        label = Instr.label()
+        bad = INSTR_CREATE_call(LabelRef(label))
+        il = InstrList([bad, label, exit_jmp()])
+        found = errors(il, "linearity")
+        assert any("only jmp/jcc" in d.message for d in found)
+
+    def test_unreachable_code_warns(self):
+        il = InstrList(
+            [exit_jmp(), INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(1))]
+        )
+        found = warnings(il, "linearity")
+        assert any("unreachable" in d.message for d in found)
+
+
+class TestLevels:
+    def test_valid_level4_round_trips(self):
+        il = InstrList(
+            [INSTR_CREATE_add(EAX, OPND_CREATE_INT32(1)), exit_jmp()]
+        )
+        assert errors(il, "levels") == []
+
+    def test_valid_bundle_passes(self):
+        raw = encode_instr(
+            Opcode.ADD, (EAX, OPND_CREATE_INT32(1)), pc=0
+        ) + encode_instr(Opcode.MOV, (EBX, EAX), pc=0)
+        il = InstrList([Instr.bundle(raw, 0x1000)])
+        assert errors(il, "levels") == []
+
+    def test_bundle_with_cti_fires(self):
+        raw = encode_instr(
+            Opcode.ADD, (EAX, OPND_CREATE_INT32(1)), pc=0
+        ) + encode_instr(Opcode.JMP, (PcOperand(0x100),), pc=0)
+        il = InstrList([Instr.bundle(raw, 0x1000)])
+        found = errors(il, "levels")
+        assert any("control transfer" in d.message for d in found)
+
+    def test_truncated_bundle_fires(self):
+        raw = encode_instr(Opcode.ADD, (EAX, OPND_CREATE_INT32(1)), pc=0)
+        il = InstrList([Instr.bundle(raw[:-1], 0x1000)])
+        assert errors(il, "levels")
+
+
+class TestEflagsSafety:
+    def _list_with_live_flags(self, meta_instr):
+        # jz reads ZF; the meta instr sits before it.
+        return InstrList(
+            [
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),
+                meta_instr,
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x100)),
+                exit_jmp(),
+            ]
+        )
+
+    def test_meta_flag_write_over_live_flags_fires(self):
+        meta = instr_set_meta(INSTR_CREATE_add(EBX, OPND_CREATE_INT32(1)))
+        found = errors(self._list_with_live_flags(meta), "eflags-safety")
+        assert any("clobbers live application flags" in d.message for d in found)
+
+    def test_app_flag_write_is_not_checked(self):
+        app = INSTR_CREATE_add(EBX, OPND_CREATE_INT32(1))  # not meta
+        assert errors(self._list_with_live_flags(app), "eflags-safety") == []
+
+    def test_meta_write_at_dead_flags_point_passes(self):
+        meta = instr_set_meta(INSTR_CREATE_add(EBX, OPND_CREATE_INT32(1)))
+        il = InstrList(
+            [
+                meta,
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)),  # rewrites all
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x100)),
+                exit_jmp(),
+            ]
+        )
+        assert errors(il, "eflags-safety") == []
+
+    def test_eflags_saved_note_exempts(self):
+        meta = instr_set_meta(INSTR_CREATE_add(EBX, OPND_CREATE_INT32(1)))
+        meta.note = {"eflags_saved": True}
+        assert errors(self._list_with_live_flags(meta), "eflags-safety") == []
+
+
+class TestScratchRegisters:
+    def test_meta_write_to_live_register_fires(self):
+        meta = instr_set_meta(INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(7)))
+        il = InstrList(
+            [meta, INSTR_CREATE_mov(EBX, EAX), exit_jmp()]  # eax read after
+        )
+        found = errors(il, "scratch-registers")
+        assert any("live register" in d.message for d in found)
+
+    def test_meta_write_to_dead_register_passes(self):
+        meta = instr_set_meta(INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(7)))
+        il = InstrList(
+            [
+                meta,
+                INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(0)),  # rewritten
+                INSTR_CREATE_mov(EBX, EAX),
+                exit_jmp(),
+            ]
+        )
+        assert errors(il, "scratch-registers") == []
+
+    def test_app_write_is_not_checked(self):
+        app = INSTR_CREATE_mov(EAX, OPND_CREATE_INT32(7))
+        il = InstrList([app, INSTR_CREATE_mov(EBX, EAX), exit_jmp()])
+        assert errors(il, "scratch-registers") == []
+
+    def test_restore_note_exempts(self):
+        meta = instr_set_meta(
+            INSTR_CREATE_mov(EAX, OPND_CREATE_MEM(disp=0x9000))
+        )
+        meta.note = {"restore": True}
+        il = InstrList([meta, INSTR_CREATE_mov(EBX, EAX), exit_jmp()])
+        assert errors(il, "scratch-registers") == []
+
+
+class TestTransparency:
+    def test_meta_push_fires(self):
+        meta = instr_set_meta(INSTR_CREATE_push(EAX))
+        il = InstrList([meta, exit_jmp()])
+        found = errors(il, "transparency")
+        assert any("application stack" in d.message for d in found)
+
+    def test_meta_register_relative_store_fires(self):
+        meta = instr_set_meta(
+            INSTR_CREATE_mov(OPND_CREATE_MEM(base=Reg.EBP, disp=-4), EAX)
+        )
+        il = InstrList([meta, exit_jmp()])
+        found = errors(il, "transparency")
+        assert any("application-relative" in d.message for d in found)
+
+    def test_meta_esp_write_fires(self):
+        meta = instr_set_meta(INSTR_CREATE_mov(ESP, EAX))
+        il = InstrList([meta, exit_jmp()])
+        found = errors(il, "transparency")
+        assert any("stack pointer" in d.message for d in found)
+
+    def test_meta_exit_branch_fires(self):
+        meta = instr_set_meta(INSTR_CREATE_jmp(OPND_CREATE_PC(0x500)))
+        il = InstrList([meta, exit_jmp()])
+        found = errors(il, "transparency")
+        assert any("leaves the fragment" in d.message for d in found)
+
+    def test_meta_branch_to_internal_label_passes(self):
+        label = Instr.label()
+        meta = instr_set_meta(INSTR_CREATE_jz(LabelRef(label)))
+        il = InstrList(
+            [INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(0)), meta, label, exit_jmp()]
+        )
+        assert errors(il, "transparency") == []
+
+    def test_absolute_store_without_predicate_passes(self):
+        meta = instr_set_meta(
+            INSTR_CREATE_mov(OPND_CREATE_MEM(disp=0x9000), EAX)
+        )
+        il = InstrList([meta, exit_jmp()])
+        assert errors(il, "transparency") == []
+
+    def test_absolute_store_classified_by_predicate(self):
+        meta = instr_set_meta(
+            INSTR_CREATE_mov(OPND_CREATE_MEM(disp=0x9000), EAX)
+        )
+        il = InstrList([meta, exit_jmp()])
+        runtime_private = errors(
+            il, "transparency", is_runtime_addr=lambda a: True
+        )
+        app_memory = errors(
+            il, "transparency", is_runtime_addr=lambda a: False
+        )
+        assert runtime_private == []
+        assert any("outside" in d.message for d in app_memory)
+
+    def test_app_push_is_not_checked(self):
+        il = InstrList([INSTR_CREATE_push(EAX), exit_jmp()])
+        assert errors(il, "transparency") == []
+
+
+class TestFramework:
+    def test_assert_fragment_valid_raises_with_diagnostics(self):
+        meta = instr_set_meta(INSTR_CREATE_push(EAX))
+        il = InstrList([meta, exit_jmp()])
+        with pytest.raises(VerificationError) as exc:
+            assert_fragment_valid(il, where="tag=0xdead")
+        assert exc.value.diagnostics
+        assert "tag=0xdead" in str(exc.value)
+
+    def test_assert_fragment_valid_passes_clean_list(self):
+        il = InstrList(
+            [INSTR_CREATE_add(EAX, OPND_CREATE_INT32(1)), exit_jmp()]
+        )
+        assert assert_fragment_valid(il) == []
+
+    def test_clean_call_pseudo_is_accepted(self):
+        il = InstrList(
+            [INSTR_CREATE_add(EAX, OPND_CREATE_INT32(1)), exit_jmp()]
+        )
+        dr_insert_clean_call(il, il.first(), lambda ctx: None)
+        assert assert_fragment_valid(il) == []
+
+    def test_duplicate_rule_id_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_rule
+            class Duplicate(Rule):
+                rule_id = "linearity"
+
+                def check(self, ctx):
+                    return iter(())
+
+    def test_missing_rule_id_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_rule
+            class Nameless(Rule):
+                def check(self, ctx):
+                    return iter(())
+
+    def test_diagnostics_sorted_by_position(self):
+        late = instr_set_meta(INSTR_CREATE_push(EAX))
+        early = instr_set_meta(INSTR_CREATE_mov(ESP, EAX))
+        il = InstrList([early, late, exit_jmp()])
+        diags = [d for d in verify_fragment(il) if d.is_error]
+        assert [d.index for d in diags] == sorted(d.index for d in diags)

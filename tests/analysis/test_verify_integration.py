@@ -1,0 +1,84 @@
+"""End-to-end verification: sample clients pass under
+``options.verify_fragments`` and the runtime catches bad clients."""
+
+import pytest
+
+from repro.analysis import VerificationError
+from repro.api.client import Client
+from repro.api.dr import dr_insert_meta_instr
+from repro.clients import (
+    CustomTraces,
+    IndirectBranchDispatch,
+    InlineInstructionCounter,
+    RedundantLoadRemoval,
+    StrengthReduction,
+)
+from repro.core import RuntimeOptions
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    OPND_CREATE_INT32,
+    OPND_CREATE_REG,
+)
+from repro.isa.registers import Reg
+
+from tests.conftest import run_under
+
+
+def verifying_options():
+    options = RuntimeOptions.with_traces()
+    options.verify_fragments = True
+    return options
+
+
+@pytest.mark.parametrize(
+    "make_client",
+    [
+        RedundantLoadRemoval,
+        StrengthReduction,
+        CustomTraces,
+        InlineInstructionCounter,
+    ],
+)
+def test_clients_verify_on_loop(loop_image, loop_native, make_client):
+    dr, result = run_under(
+        loop_image, options=verifying_options(), client=make_client()
+    )
+    assert result.output == loop_native.output
+    assert not any(d.is_error for d in dr.verifier_diagnostics)
+
+
+def test_indirect_dispatch_verifies(indirect_image, indirect_native):
+    dr, result = run_under(
+        indirect_image,
+        options=verifying_options(),
+        client=IndirectBranchDispatch(),
+    )
+    assert result.output == indirect_native.output
+    assert not any(d.is_error for d in dr.verifier_diagnostics)
+
+
+class UnsafeClient(Client):
+    """Clobbers a live register and live flags in every block."""
+
+    def basic_block(self, context, tag, ilist):
+        ilist.expand_bundles()
+        bump = INSTR_CREATE_add(
+            OPND_CREATE_REG(Reg.EAX), OPND_CREATE_INT32(1)
+        )
+        dr_insert_meta_instr(ilist, ilist.first(), bump)
+
+
+def test_unsafe_client_is_caught(loop_image):
+    with pytest.raises(VerificationError) as exc:
+        run_under(loop_image, options=verifying_options(), client=UnsafeClient())
+    assert any(
+        d.rule in ("scratch-registers", "eflags-safety")
+        for d in exc.value.diagnostics
+    )
+
+
+def test_verification_off_by_default(loop_image):
+    # The same unsafe client goes unnoticed without the debug option —
+    # the verifier is opt-in and charges nothing by default.
+    dr, result = run_under(loop_image, client=UnsafeClient())
+    assert dr.verifier_diagnostics == []

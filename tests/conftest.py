@@ -15,7 +15,7 @@ int mix(int x) { return (x * 31 + 7) % 997; }
 int main() {
     int i; int round;
     checksum = 0;
-    for (round = 0; round < 40; round++) {
+    for (round = 0; round < 24; round++) {
         for (i = 0; i < 32; i++) {
             data[i] = mix(data[i] + i + round);
             checksum = checksum + data[i];
@@ -36,7 +36,7 @@ int main() {
     int i; int acc; int f;
     table[0] = &h0; table[1] = &h1; table[2] = &h2; table[3] = &h3;
     acc = 0;
-    for (i = 0; i < 600; i++) {
+    for (i = 0; i < 350; i++) {
         f = table[i & 3];
         acc = acc + f(i);
     }

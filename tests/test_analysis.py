@@ -139,3 +139,103 @@ class TestDeadRegisters:
             ]
         )
         assert registers_written_before_read(il, il.first()) == set()
+
+
+class TestPartialFlagWrites:
+    """inc/dec write five of the six arithmetic flags but leave CF."""
+
+    def test_inc_does_not_kill_cf(self):
+        from repro.ir.create import INSTR_CREATE_inc, INSTR_CREATE_jb
+
+        il = InstrList(
+            [
+                INSTR_CREATE_inc(EAX),  # writes PF/AF/ZF/SF/OF, not CF
+                INSTR_CREATE_jb(OPND_CREATE_PC(0x10)),  # reads CF
+            ]
+        )
+        assert not eflags_dead_before(il, il.first())
+
+    def test_inc_kills_the_flags_it_writes(self):
+        from repro.analysis import live_eflags
+        from repro.ir.create import INSTR_CREATE_inc
+        from repro.isa.eflags import EFLAGS_READ_CF
+
+        il = InstrList(
+            [
+                INSTR_CREATE_inc(EAX),
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x10)),  # exit: all flags live
+            ]
+        )
+        # The exit keeps all six flags live after the inc; the inc's
+        # partial write kills exactly the five it produces, leaving CF.
+        assert live_eflags(il).before(il.first()) == EFLAGS_READ_CF
+
+    def test_dec_then_carry_read_keeps_cf_live(self):
+        from repro.ir.create import INSTR_CREATE_dec, INSTR_CREATE_jb
+
+        il = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, MEM),
+                INSTR_CREATE_dec(EAX),
+                INSTR_CREATE_jb(OPND_CREATE_PC(0x10)),
+            ]
+        )
+        # CF survives the dec and is read by jb, so flags are live at
+        # the top; a full writer (add) would make them dead.
+        assert not eflags_dead_before(il, il.first())
+        il2 = InstrList(
+            [
+                INSTR_CREATE_mov(EAX, MEM),
+                INSTR_CREATE_add(EAX, OPND_CREATE_INT32(-1)),
+                INSTR_CREATE_jb(OPND_CREATE_PC(0x10)),
+            ]
+        )
+        assert eflags_dead_before(il2, il2.first())
+
+    def test_find_point_honors_partial_write(self):
+        from repro.ir.create import INSTR_CREATE_inc, INSTR_CREATE_jb
+
+        il = InstrList(
+            [
+                INSTR_CREATE_inc(EAX),
+                INSTR_CREATE_jb(OPND_CREATE_PC(0x10)),
+            ]
+        )
+        # CF is live through the inc, so no insertion point exists.
+        assert find_dead_flags_point(il) is None
+
+
+class TestLivenessWithLabels:
+    def test_labels_are_transparent_to_flag_state(self):
+        from repro.ir.instr import Instr
+
+        label = Instr.label()
+        il = InstrList(
+            [
+                label,
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(3)),
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x10)),
+            ]
+        )
+        assert eflags_dead_before(il, il.first())
+        # find_dead_flags_point skips the label and lands on the cmp
+        point = find_dead_flags_point(il)
+        assert point is not None and not point.is_label()
+
+    def test_branch_to_label_joins_flag_liveness(self):
+        from repro.ir.instr import Instr, LabelRef
+
+        # The jz's taken path reaches a flag reader with no intervening
+        # writer, so flags stay live at the un-taken path's writer too.
+        label = Instr.label()
+        il = InstrList(
+            [
+                INSTR_CREATE_cmp(EAX, OPND_CREATE_INT32(3)),
+                INSTR_CREATE_jz(LabelRef(label)),
+                INSTR_CREATE_cmp(EBX, OPND_CREATE_INT32(4)),
+                label,
+                INSTR_CREATE_jz(OPND_CREATE_PC(0x10)),
+            ]
+        )
+        jcc = [i for i in il if i.is_cond_branch()][0]
+        assert not eflags_dead_before(il, jcc)

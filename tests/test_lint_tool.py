@@ -1,0 +1,73 @@
+"""The ``python -m repro.tools.lint`` CLI: reports and exit codes."""
+
+import pytest
+
+from repro.tools.lint import main
+
+SRC = """
+int counter;
+int bump(int x) { return x + 2; }
+int main() {
+    int i;
+    counter = 0;
+    for (i = 0; i < 5; i++) { counter = counter + bump(i); }
+    print(counter);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def source_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("lint") / "prog.mc"
+    path.write_text(SRC)
+    return str(path)
+
+
+def test_static_clean_program_exits_zero(source_file, capsys):
+    assert main([source_file]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_static_inject_exits_nonzero(source_file, capsys):
+    assert main([source_file, "--inject"]) == 1
+    out = capsys.readouterr().out
+    assert "[error]" in out
+
+
+def test_dynamic_clean_client_exits_zero(source_file, capsys):
+    assert main([source_file, "--client", "inscount-inline"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_dynamic_inject_exits_nonzero(source_file, capsys):
+    assert main([source_file, "--client", "null", "--inject"]) == 1
+    out = capsys.readouterr().out
+    assert "[error]" in out
+
+
+def test_rule_selection(source_file, capsys):
+    # With only the structural rules selected, the injected violation
+    # (a liveness/transparency problem) goes unreported.
+    assert main([source_file, "--inject", "--rules", "linearity,levels"]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "linearity",
+        "levels",
+        "eflags-safety",
+        "scratch-registers",
+        "transparency",
+    ):
+        assert rule_id in out
+
+
+def test_max_diagnostics_suppression(source_file, capsys):
+    assert main([source_file, "--inject", "--max-diagnostics", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "suppressed" in out

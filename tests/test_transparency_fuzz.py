@@ -8,6 +8,7 @@ compiler, the ISA, both executors, the trace builder, and every client
 transformation at once.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.clients import make_all_optimizations
@@ -15,6 +16,8 @@ from repro.core import DynamoRIO, RuntimeOptions
 from repro.loader import Process
 from repro.machine.interp import run_native
 from repro.minicc import compile_source
+
+pytestmark = pytest.mark.slow
 
 VARS = ["a", "b", "c", "d"]
 

@@ -41,6 +41,7 @@ class TestEveryBenchmark:
         assert result.output  # every benchmark prints a checksum
         assert result.instructions > 10_000
 
+    @pytest.mark.slow
     def test_deterministic(self, name):
         image = load_benchmark(name, "test")
         a = run_native(Process(image))
@@ -50,7 +51,9 @@ class TestEveryBenchmark:
 
 
 # Transparency across the full suite is the expensive king of tests; it
-# runs every benchmark under the full runtime configuration.
+# runs every benchmark under the full runtime configuration.  Deselected
+# from the default run (see pyproject.toml); run with -m slow.
+@pytest.mark.slow
 @pytest.mark.parametrize("name", ALL_NAMES)
 def test_transparent_under_full_runtime(name):
     image = load_benchmark(name, "test")
