@@ -270,6 +270,13 @@ def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=Non
     fragment.exits = exits
     fragment.size = size + STUB_SIZE * len(exits)
     fragment.instrs_source = ilist
+    if runtime is not None:
+        # Encode into the cache: compile the op tuples to step closures
+        # while emission state is hot.  Lazy import — closures needs the
+        # OP_* constants from this module.
+        from repro.core.closures import compile_fragment
+
+        compile_fragment(fragment, runtime)
     return fragment
 
 

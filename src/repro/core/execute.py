@@ -16,6 +16,19 @@ Cycle charging:
 The engine reads ``fragment.code`` once into a local — so a fragment
 replaced mid-execution (adaptive optimization) keeps running its old
 code until the next exit, exactly the paper's replacement semantics.
+
+Two interchangeable engines drive the op stream:
+
+* the **closure engine** (default, ``options.closure_engine=True``)
+  runs the fragment's closure-compiled step table
+  (:mod:`repro.core.closures`) — each step has its operand accessors,
+  costs and link stubs pre-bound, so the loop is just
+  ``i = steps[i](self, cpu)``;
+* the **tuple engine** interprets the lowered op tuples directly
+  (:meth:`Executor._run_ops`), kept as the regression reference.
+
+Both charge cycles and update stats identically; the determinism tests
+assert bit-identical results across engines.
 """
 
 from repro.core.emit import (
@@ -30,6 +43,7 @@ from repro.core.emit import (
     OP_JMP_EXIT,
     OP_LOCAL_BR,
 )
+from repro.core.closures import compile_fragment
 from repro.machine.errors import MachineFault
 from repro.machine.exec_ops import execute_noncti, read_operand
 from repro.machine.system import pop_signal_frame
@@ -56,6 +70,8 @@ class Executor:
     def __init__(self, runtime):
         self.runtime = runtime
         self.instructions = 0
+        # Set by closure-compiled exit steps before they return None.
+        self._next_fragment = None
 
     # ------------------------------------------------------------ exit paths
 
@@ -119,8 +135,8 @@ class Executor:
         system = runtime.system
         counter = runtime.counter
         cost = runtime.cost
-        taken_penalty = cost.taken_branch_penalty
-        regs = cpu.regs
+        fragment_entry = cost.fragment_entry
+        use_closures = runtime.options.closure_engine
 
         try:
             first = True
@@ -129,7 +145,7 @@ class Executor:
                     raise MachineFault(
                         "instruction budget exhausted (%d)" % budget
                     )
-                if system.alarm_in is not None or system.alarm_at is not None:
+                if system.alarm_active:
                     system.convert_alarm(self.instructions)
                     if not first and system.alarm_due(self.instructions):
                         # pending signal: deliver from the dispatcher at
@@ -145,172 +161,22 @@ class Executor:
                     # thread switch).
                     raise CacheExit(EXIT_DISPATCH, fragment.tag, None)
                 first = False
-                counter.cycles += cost.fragment_entry
-                code = fragment.code
-                exits = fragment.exits
-                n = len(code)
-                i = 0
-                next_fragment = None
-                while i < n:
-                    op = code[i]
-                    kind = op[0]
-                    if kind == OP_EXEC:
-                        counter.cycles += op[3]
-                        self.instructions += 1
-                        execute_noncti(cpu, mem, system, op[1], op[2])
-                        i += 1
-                        continue
-                    if kind == OP_COND_EXIT:
-                        self.instructions += 1
-                        if cpu.condition_holds(op[1]):
-                            counter.cycles += op[3] + taken_penalty
-                            next_fragment = self._direct_exit(
-                                exits[op[2]], cpu, mem, system
-                            )
-                            break
-                        counter.cycles += op[3]
-                        i += 1
-                        continue
-                    if kind == OP_JMP_EXIT:
-                        self.instructions += 1
-                        counter.cycles += op[2] + taken_penalty
-                        next_fragment = self._direct_exit(
-                            exits[op[1]], cpu, mem, system
-                        )
-                        break
-                    if kind == OP_CALL_EXIT:
-                        self.instructions += 1
-                        counter.cycles += op[3] + taken_penalty
-                        regs[4] = (regs[4] - 4) & _MASK32
-                        mem.write_u32(regs[4], op[2])
-                        next_fragment = self._direct_exit(
-                            exits[op[1]], cpu, mem, system
-                        )
-                        break
-                    if kind == OP_CALL_INLINE:
-                        # Inlined call in a trace: push and fall through
-                        # (no taken penalty — superior trace layout).
-                        self.instructions += 1
-                        counter.cycles += op[2]
-                        regs[4] = (regs[4] - 4) & _MASK32
-                        mem.write_u32(regs[4], op[1])
-                        i += 1
-                        continue
-                    if kind == OP_IND_EXIT:
-                        self.instructions += 1
-                        (
-                            _k,
-                            exit_idx,
-                            operand,
-                            is_call,
-                            ret_addr,
-                            profiler,
-                            checker,
-                            c,
-                        ) = op
-                        if operand == "ret":
-                            target = mem.read_u32(regs[4])
-                            regs[4] = (regs[4] + 4) & _MASK32
-                        elif operand == "iret":
-                            target = pop_signal_frame(cpu, mem)
-                        else:
-                            target = read_operand(cpu, mem, operand)
-                        if checker is not None:
-                            counter.cycles += CLEAN_CALL_COST
-                            runtime.stats.clean_calls += 1
-                            checker(thread, target)
-                        if is_call:
-                            regs[4] = (regs[4] - 4) & _MASK32
-                            mem.write_u32(regs[4], ret_addr)
-                        counter.cycles += c + taken_penalty
-                        if profiler is not None:
-                            counter.cycles += CLEAN_CALL_COST
-                            runtime.stats.clean_calls += 1
-                            profiler(thread, target)
-                        next_fragment = self._indirect_exit(
-                            exits[exit_idx], target, cpu, mem, system
-                        )
-                        break
-                    if kind == OP_IND_CHECK:
-                        self.instructions += 1
-                        (
-                            _k,
-                            ibl_idx,
-                            operand,
-                            expected,
-                            dispatch,
-                            is_call,
-                            ret_addr,
-                            profiler,
-                            checker,
-                            c,
-                            check_cost,
-                        ) = op
-                        if operand == "ret":
-                            target = mem.read_u32(regs[4])
-                            regs[4] = (regs[4] + 4) & _MASK32
-                        elif operand == "iret":
-                            target = pop_signal_frame(cpu, mem)
-                        else:
-                            target = read_operand(cpu, mem, operand)
-                        if checker is not None:
-                            counter.cycles += CLEAN_CALL_COST
-                            runtime.stats.clean_calls += 1
-                            checker(thread, target)
-                        if is_call:
-                            regs[4] = (regs[4] - 4) & _MASK32
-                            mem.write_u32(regs[4], ret_addr)
-                        counter.cycles += c
-                        if target == expected:
-                            runtime.stats.inline_check_hits += 1
-                            i += 1
-                            continue
-                        matched = None
-                        for tag, exit_idx in dispatch:
-                            counter.cycles += check_cost
-                            if target == tag:
-                                matched = exit_idx
-                                break
-                        if matched is not None:
-                            runtime.stats.dispatch_check_hits += 1
-                            counter.cycles += taken_penalty
-                            next_fragment = self._direct_exit(
-                                exits[matched], cpu, mem, system
-                            )
-                            break
-                        if profiler is not None:
-                            counter.cycles += CLEAN_CALL_COST
-                            runtime.stats.clean_calls += 1
-                            profiler(thread, target)
-                        counter.cycles += taken_penalty
-                        next_fragment = self._indirect_exit(
-                            exits[ibl_idx], target, cpu, mem, system
-                        )
-                        break
-                    if kind == OP_LOCAL_BR:
-                        self.instructions += 1
-                        _k, jcc, target_index, c = op
-                        if jcc is None or cpu.condition_holds(jcc):
-                            counter.cycles += c + taken_penalty
-                            i = target_index
-                        else:
-                            counter.cycles += c
-                            i += 1
-                        continue
-                    if kind == OP_CLEAN_CALL:
-                        counter.cycles += op[2]
-                        runtime.stats.clean_calls += 1
-                        op[1](thread)
-                        i += 1
-                        continue
-                    raise MachineFault("unknown fragment op kind %r" % (kind,))
+                counter.cycles += fragment_entry
+                if use_closures:
+                    # Step table read once — a fragment replaced
+                    # mid-execution keeps running its old steps until
+                    # the next exit, like the tuple engine with `code`.
+                    steps = fragment.compiled
+                    if steps is None:
+                        steps = compile_fragment(fragment, runtime)
+                    self._next_fragment = None
+                    i = 0
+                    while i is not None:
+                        i = steps[i](self, cpu)
+                    next_fragment = self._next_fragment
                 else:
-                    # Fell off the end of a fragment: only legal when the
-                    # last op was an elided continuation — fragments are
-                    # built so this cannot happen.
-                    raise MachineFault(
-                        "fragment 0x%x fell through without an exit"
-                        % fragment.tag
+                    next_fragment = self._run_ops(
+                        fragment, thread, cpu, mem, system, counter
                     )
 
                 # A linked (or IBL-hit) transfer: continue in the cache.
@@ -319,3 +185,179 @@ class Executor:
                 fragment = next_fragment
         except CacheExit as exit_:
             return exit_.reason, exit_.next_tag, exit_.stub
+
+    def _run_ops(self, fragment, thread, cpu, mem, system, counter):
+        """Interpret the fragment's lowered op tuples (the pre-closure
+        engine, kept as the regression reference); returns the next
+        fragment or raises CacheExit."""
+        runtime = self.runtime
+        taken_penalty = runtime.cost.taken_branch_penalty
+        regs = cpu.regs
+        code = fragment.code
+        exits = fragment.exits
+        n = len(code)
+        i = 0
+        next_fragment = None
+        while i < n:
+            op = code[i]
+            kind = op[0]
+            if kind == OP_EXEC:
+                counter.cycles += op[3]
+                self.instructions += 1
+                execute_noncti(cpu, mem, system, op[1], op[2])
+                i += 1
+                continue
+            if kind == OP_COND_EXIT:
+                self.instructions += 1
+                if cpu.condition_holds(op[1]):
+                    counter.cycles += op[3] + taken_penalty
+                    next_fragment = self._direct_exit(
+                        exits[op[2]], cpu, mem, system
+                    )
+                    break
+                counter.cycles += op[3]
+                i += 1
+                continue
+            if kind == OP_JMP_EXIT:
+                self.instructions += 1
+                counter.cycles += op[2] + taken_penalty
+                next_fragment = self._direct_exit(
+                    exits[op[1]], cpu, mem, system
+                )
+                break
+            if kind == OP_CALL_EXIT:
+                self.instructions += 1
+                counter.cycles += op[3] + taken_penalty
+                regs[4] = (regs[4] - 4) & _MASK32
+                mem.write_u32(regs[4], op[2])
+                next_fragment = self._direct_exit(
+                    exits[op[1]], cpu, mem, system
+                )
+                break
+            if kind == OP_CALL_INLINE:
+                # Inlined call in a trace: push and fall through
+                # (no taken penalty — superior trace layout).
+                self.instructions += 1
+                counter.cycles += op[2]
+                regs[4] = (regs[4] - 4) & _MASK32
+                mem.write_u32(regs[4], op[1])
+                i += 1
+                continue
+            if kind == OP_IND_EXIT:
+                self.instructions += 1
+                (
+                    _k,
+                    exit_idx,
+                    operand,
+                    is_call,
+                    ret_addr,
+                    profiler,
+                    checker,
+                    c,
+                ) = op
+                if operand == "ret":
+                    target = mem.read_u32(regs[4])
+                    regs[4] = (regs[4] + 4) & _MASK32
+                elif operand == "iret":
+                    target = pop_signal_frame(cpu, mem)
+                else:
+                    target = read_operand(cpu, mem, operand)
+                if checker is not None:
+                    counter.cycles += CLEAN_CALL_COST
+                    runtime.stats.clean_calls += 1
+                    checker(thread, target)
+                if is_call:
+                    regs[4] = (regs[4] - 4) & _MASK32
+                    mem.write_u32(regs[4], ret_addr)
+                counter.cycles += c + taken_penalty
+                if profiler is not None:
+                    counter.cycles += CLEAN_CALL_COST
+                    runtime.stats.clean_calls += 1
+                    profiler(thread, target)
+                next_fragment = self._indirect_exit(
+                    exits[exit_idx], target, cpu, mem, system
+                )
+                break
+            if kind == OP_IND_CHECK:
+                self.instructions += 1
+                (
+                    _k,
+                    ibl_idx,
+                    operand,
+                    expected,
+                    dispatch,
+                    is_call,
+                    ret_addr,
+                    profiler,
+                    checker,
+                    c,
+                    check_cost,
+                ) = op
+                if operand == "ret":
+                    target = mem.read_u32(regs[4])
+                    regs[4] = (regs[4] + 4) & _MASK32
+                elif operand == "iret":
+                    target = pop_signal_frame(cpu, mem)
+                else:
+                    target = read_operand(cpu, mem, operand)
+                if checker is not None:
+                    counter.cycles += CLEAN_CALL_COST
+                    runtime.stats.clean_calls += 1
+                    checker(thread, target)
+                if is_call:
+                    regs[4] = (regs[4] - 4) & _MASK32
+                    mem.write_u32(regs[4], ret_addr)
+                counter.cycles += c
+                if target == expected:
+                    runtime.stats.inline_check_hits += 1
+                    i += 1
+                    continue
+                matched = None
+                for tag, exit_idx in dispatch:
+                    counter.cycles += check_cost
+                    if target == tag:
+                        matched = exit_idx
+                        break
+                if matched is not None:
+                    runtime.stats.dispatch_check_hits += 1
+                    counter.cycles += taken_penalty
+                    next_fragment = self._direct_exit(
+                        exits[matched], cpu, mem, system
+                    )
+                    break
+                if profiler is not None:
+                    counter.cycles += CLEAN_CALL_COST
+                    runtime.stats.clean_calls += 1
+                    profiler(thread, target)
+                counter.cycles += taken_penalty
+                next_fragment = self._indirect_exit(
+                    exits[ibl_idx], target, cpu, mem, system
+                )
+                break
+            if kind == OP_LOCAL_BR:
+                self.instructions += 1
+                _k, jcc, target_index, c = op
+                if jcc is None or cpu.condition_holds(jcc):
+                    counter.cycles += c + taken_penalty
+                    i = target_index
+                else:
+                    counter.cycles += c
+                    i += 1
+                continue
+            if kind == OP_CLEAN_CALL:
+                counter.cycles += op[2]
+                runtime.stats.clean_calls += 1
+                op[1](thread)
+                i += 1
+                continue
+            raise MachineFault("unknown fragment op kind %r" % (kind,))
+        else:
+            # Fell off the end of a fragment: only legal when the
+            # last op was an elided continuation — fragments are
+            # built so this cannot happen.
+            raise MachineFault(
+                "fragment 0x%x fell through without an exit"
+                % fragment.tag
+            )
+
+        return next_fragment

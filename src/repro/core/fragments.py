@@ -65,6 +65,7 @@ class Fragment:
         "incoming",
         "deleted",
         "generation",
+        "compiled",
     )
 
     KIND_BB = "bb"
@@ -87,6 +88,9 @@ class Fragment:
         self.incoming = []
         self.deleted = False
         self.generation = 0
+        # Closure-compiled step table (repro.core.closures); built when
+        # the fragment is emitted under a runtime, lazily otherwise.
+        self.compiled = None
 
     @property
     def is_trace(self):

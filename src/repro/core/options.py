@@ -21,6 +21,7 @@ class RuntimeOptions:
         code_cache_limit=None,
         sideline_optimization=False,
         verify_fragments=False,
+        closure_engine=True,
     ):
         # Table 1 mechanisms, cumulative.
         self.bb_cache = bb_cache
@@ -42,6 +43,12 @@ class RuntimeOptions:
         # Debug mode: run the fragment verifier (repro.analysis.verifier)
         # over every InstrList after client hooks, raising on errors.
         self.verify_fragments = verify_fragments
+        # Execution engine: True drives fragments through their
+        # closure-compiled step tables (repro.core.closures); False
+        # falls back to interpreting the lowered op tuples.  Both
+        # produce bit-identical simulated results; only host wall-clock
+        # time differs.
+        self.closure_engine = closure_engine
 
     def copy(self):
         new = RuntimeOptions()

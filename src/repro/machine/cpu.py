@@ -254,3 +254,35 @@ class CPU:
         if opcode == Opcode.JNO:
             return not e & OF
         raise ValueError("not a conditional branch: %r" % (opcode,))
+
+
+# Precompiled Jcc predicates over an eflags value, used by the closure-
+# compiled executors so hot branches skip the condition_holds dispatch
+# chain.  Each returns a truthy/falsy value identical in truth value to
+# CPU.condition_holds for the same flags.
+_CF_OR_ZF = CF | ZF
+
+_CONDITION_FNS = {
+    Opcode.JZ: lambda e: e & ZF,
+    Opcode.JNZ: lambda e: not e & ZF,
+    Opcode.JB: lambda e: e & CF,
+    Opcode.JNB: lambda e: not e & CF,
+    Opcode.JBE: lambda e: e & _CF_OR_ZF,
+    Opcode.JNBE: lambda e: not e & _CF_OR_ZF,
+    Opcode.JS: lambda e: e & SF,
+    Opcode.JNS: lambda e: not e & SF,
+    Opcode.JL: lambda e: bool(e & SF) != bool(e & OF),
+    Opcode.JNL: lambda e: bool(e & SF) == bool(e & OF),
+    Opcode.JLE: lambda e: bool(e & ZF) or bool(e & SF) != bool(e & OF),
+    Opcode.JNLE: lambda e: not e & ZF and bool(e & SF) == bool(e & OF),
+    Opcode.JO: lambda e: e & OF,
+    Opcode.JNO: lambda e: not e & OF,
+}
+
+
+def compile_condition(opcode):
+    """Return a predicate ``fn(eflags) -> truthy`` for a Jcc opcode."""
+    try:
+        return _CONDITION_FNS[opcode]
+    except KeyError:
+        raise ValueError("not a conditional branch: %r" % (opcode,))

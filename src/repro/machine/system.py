@@ -63,6 +63,11 @@ class System:
         self.signal_handler = None
         self.alarm_in = None
         self.alarm_at = None
+        # Fast-path guard: True iff alarm_in or alarm_at is set.  The
+        # executors test this single flag per safe point instead of the
+        # two-field bookkeeping check, and skip conversion/delivery
+        # logic entirely for workloads that never arm an alarm.
+        self.alarm_active = False
         self.signals_delivered = 0
 
     def syscall(self, cpu):
@@ -89,6 +94,7 @@ class System:
             return
         if number == SYS_ALARM:
             self.alarm_in = arg & 0xFFFFFFFF
+            self.alarm_active = True
             return
         raise MachineFault("unknown syscall %d" % number)
 
@@ -97,12 +103,14 @@ class System:
         if self.alarm_in is not None:
             self.alarm_at = current_instructions + self.alarm_in
             self.alarm_in = None
+            self.alarm_active = True
 
     def alarm_due(self, current_instructions):
         return self.alarm_at is not None and current_instructions >= self.alarm_at
 
     def clear_alarm(self):
         self.alarm_at = None
+        self.alarm_active = self.alarm_in is not None
 
     def output_bytes(self):
         return bytes(self.output)

@@ -53,6 +53,12 @@ def main(argv=None):
     )
     parser.add_argument("--native-only", action="store_true")
     parser.add_argument("--stats", action="store_true", help="dump runtime events")
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile the runtime run with cProfile; write pstats dump "
+        "to FILE ('-' prints the top entries instead)",
+    )
     args = parser.parse_args(argv)
 
     if args.benchmark:
@@ -89,7 +95,21 @@ def main(argv=None):
         client=client,
         cost_model=CostModel(family),
     )
-    result = runtime.run()
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = runtime.run()
+        profiler.disable()
+        if args.profile == "-":
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        else:
+            profiler.dump_stats(args.profile)
+            print("profile written to %s" % args.profile)
+    else:
+        result = runtime.run()
     status = "TRANSPARENT" if result.output == native.output else "DIVERGED"
     print(
         "runtime[%s]: %d cycles (%.3fx native) — %s"

@@ -1,0 +1,161 @@
+"""Closure engine ↔ tuple engine determinism regression.
+
+The closure-compiled engines (fragment step tables in
+``repro.core.closures``; the interpreter's pre-bound decode closures)
+must be *bit-identical* to the tuple-dispatch reference paths on every
+simulated observable: cycles, instruction counts, program output, exit
+code, and the full event/stat dictionaries.  Only host wall-clock time
+may differ.
+
+Each sample client exercises a different lowered-op surface: redundant
+load removal rewrites straight-line exec ops, strength reduction changes
+instruction costs, indirect-branch dispatch emits OP_IND_CHECK chains
+with profilers, and custom traces reshape fragment boundaries.  Signals
+and threads cover the alarm/safe-point and scheduler paths.
+"""
+
+import pytest
+
+from repro.clients import (
+    CustomTraces,
+    IndirectBranchDispatch,
+    RedundantLoadRemoval,
+    StrengthReduction,
+)
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.cost import CostModel
+from repro.machine.interp import Interpreter
+from repro.minicc import compile_source
+
+from tests.conftest import INDIRECT_SRC, LOOP_SRC
+
+SIGNAL_SRC = """
+int ticks;
+
+int on_alarm() {
+    ticks++;
+    if (ticks < 3) { alarm(200); }
+    sigreturn;
+    return 0;
+}
+
+int main() {
+    int i;
+    sighandler(&on_alarm);
+    alarm(200);
+    i = 0;
+    while (ticks < 3) { i++; }
+    print(ticks);
+    return 0;
+}
+"""
+
+CLIENTS = {
+    "none": lambda: None,
+    "redundant_load": RedundantLoadRemoval,
+    "inc2add": StrengthReduction,
+    "indirect_dispatch": IndirectBranchDispatch,
+    "custom_traces": CustomTraces,
+}
+
+SOURCES = {
+    "loop": LOOP_SRC,
+    "indirect": INDIRECT_SRC,
+    "signals": SIGNAL_SRC,
+}
+
+
+@pytest.fixture(scope="module")
+def images():
+    return {name: compile_source(src) for name, src in SOURCES.items()}
+
+
+def _run_runtime(image, client_factory, closure_engine):
+    options = RuntimeOptions.with_traces()
+    options.closure_engine = closure_engine
+    runtime = DynamoRIO(
+        Process(image),
+        options=options,
+        client=client_factory(),
+        cost_model=CostModel(),
+    )
+    return runtime.run()
+
+
+def _assert_identical(a, b):
+    assert a.cycles == b.cycles
+    assert a.instructions == b.instructions
+    assert a.output == b.output
+    assert a.exit_code == b.exit_code
+    assert a.events == b.events
+
+
+@pytest.mark.parametrize("client_name", sorted(CLIENTS))
+@pytest.mark.parametrize("source_name", sorted(SOURCES))
+def test_runtime_engines_bit_identical(images, source_name, client_name):
+    image = images[source_name]
+    factory = CLIENTS[client_name]
+    closure = _run_runtime(image, factory, closure_engine=True)
+    tuple_ = _run_runtime(image, factory, closure_engine=False)
+    _assert_identical(closure, tuple_)
+
+
+@pytest.mark.parametrize("mode", ["native", "emulation"])
+@pytest.mark.parametrize("source_name", sorted(SOURCES))
+def test_interpreter_engines_bit_identical(images, source_name, mode):
+    image = images[source_name]
+    results = [
+        Interpreter(
+            Process(image), CostModel(), mode=mode, engine=engine
+        ).run()
+        for engine in ("closure", "tuple")
+    ]
+    _assert_identical(results[0], results[1])
+
+
+def test_threaded_workload_engines_bit_identical():
+    src = """
+int done;
+int total;
+
+int worker() {
+    int i;
+    for (i = 0; i < 40; i++) { total = total + i; }
+    done = done + 1;
+    return 0;
+}
+
+int main() {
+    done = 0;
+    total = 0;
+    spawn(&worker, 0x790000);
+    while (done < 1) { }
+    print(total);
+    return 0;
+}
+"""
+    image = compile_source(src)
+    closure = _run_runtime(image, lambda: None, closure_engine=True)
+    tuple_ = _run_runtime(image, lambda: None, closure_engine=False)
+    _assert_identical(closure, tuple_)
+
+
+def test_ablation_rows_bit_identical(images):
+    """Every Table-1 configuration row agrees across engines."""
+    image = images["loop"]
+    for factory in (
+        RuntimeOptions.bb_cache_only,
+        RuntimeOptions.with_direct_links,
+        RuntimeOptions.with_indirect_links,
+        RuntimeOptions.with_traces,
+    ):
+        options_a = factory()
+        options_a.closure_engine = True
+        options_b = factory()
+        options_b.closure_engine = False
+        a = DynamoRIO(Process(image), options=options_a,
+                      cost_model=CostModel()).run()
+        b = DynamoRIO(Process(image), options=options_b,
+                      cost_model=CostModel()).run()
+        _assert_identical(a, b)
