@@ -127,6 +127,43 @@ def dr_mark_trace_head(context, tag):
     context.runtime.mark_trace_head(tag)
 
 
+# ----------------------------------------------------------- observability
+
+
+def dr_register_event_tracer(client_or_context, fn):
+    """Stream runtime events (drtrace) to ``fn(event)`` as they happen.
+
+    Creates the runtime's :class:`~repro.observe.events.Observer` on
+    demand when tracing was not enabled via
+    ``RuntimeOptions(trace_events=True)`` — events before the first
+    registration are then not observable.  Returns the observer, whose
+    ring buffer / profiler can be queried after the run.
+    """
+    runtime = getattr(client_or_context, "runtime", client_or_context)
+    observer = runtime.observer
+    if observer is None:
+        from repro.observe.events import Observer
+
+        observer = Observer(runtime.options.trace_buffer)
+        runtime.observer = observer
+    if fn is not None:
+        observer.tracers.append(fn)
+    return observer
+
+
+def dr_get_profile(client_or_context, top=None):
+    """The hot-fragment table of the per-fragment cycle profiler.
+
+    Rows are dicts (``tag``, ``kind``, ``entries``, ``cycles``,
+    ``share``) sorted hottest first; empty when tracing is disabled.
+    """
+    runtime = getattr(client_or_context, "runtime", client_or_context)
+    observer = runtime.observer
+    if observer is None:
+        return []
+    return observer.profiler.hot_fragments(top=top)
+
+
 # ------------------------------------------------------------- clean calls
 
 

@@ -14,6 +14,7 @@ in application memory — transparency as in Section 3.2.
 from repro.analysis import find_dead_flags_point
 from repro.api.client import Client
 from repro.api.dr import (
+    dr_get_profile,
     dr_global_alloc,
     dr_insert_clean_call,
     dr_insert_meta_instr,
@@ -69,3 +70,14 @@ class InlineInstructionCounter(Client):
             self.fallback_blocks,
             self.executed,
         )
+        # When the drtrace profiler ran, report where the cycles went.
+        for row in dr_get_profile(self, top=3):
+            dr_printf(
+                self,
+                "hot fragment: tag=0x%x kind=%s entries=%d cycles=%d (%.1f%%)",
+                row["tag"],
+                row["kind"],
+                row["entries"],
+                row["cycles"],
+                row["share"] * 100.0,
+            )

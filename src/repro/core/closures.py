@@ -48,6 +48,11 @@ from repro.machine.cpu import compile_condition
 from repro.machine.errors import MachineFault
 from repro.machine.exec_ops import compile_noncti, compile_read, read_operand
 from repro.machine.system import pop_signal_frame
+from repro.observe.events import (
+    EV_CLEAN_CALL,
+    EV_DISPATCH_CHECK_HIT,
+    EV_INLINE_CHECK_HIT,
+)
 
 _MASK32 = 0xFFFFFFFF
 
@@ -241,12 +246,18 @@ def compile_fragment(fragment, runtime):
                 _profiler=profiler,
                 _checker=checker,
                 _c=c,
+                _tag=tag,
             ):
                 ex.instructions += 1
                 target = _fetch(cpu)
                 if _checker is not None:
                     counter.cycles += CLEAN_CALL_COST
                     stats.clean_calls += 1
+                    observer = ex.runtime.observer
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, _tag, role="checker", target=target
+                        )
                     _checker(ex.runtime.current_thread, target)
                 if _is_call:
                     regs = cpu.regs
@@ -256,6 +267,11 @@ def compile_fragment(fragment, runtime):
                 if _profiler is not None:
                     counter.cycles += CLEAN_CALL_COST
                     stats.clean_calls += 1
+                    observer = ex.runtime.observer
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, _tag, role="profiler", target=target
+                        )
                     _profiler(ex.runtime.current_thread, target)
                 ex._next_fragment = ex._indirect_exit(
                     _stub, target, cpu, mem, system
@@ -298,12 +314,18 @@ def compile_fragment(fragment, runtime):
                 _c=c,
                 _check_cost=check_cost,
                 _nxt=nxt,
+                _tag=tag,
             ):
                 ex.instructions += 1
                 target = _fetch(cpu)
                 if _checker is not None:
                     counter.cycles += CLEAN_CALL_COST
                     stats.clean_calls += 1
+                    observer = ex.runtime.observer
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, _tag, role="checker", target=target
+                        )
                     _checker(ex.runtime.current_thread, target)
                 if _is_call:
                     regs = cpu.regs
@@ -312,6 +334,9 @@ def compile_fragment(fragment, runtime):
                 counter.cycles += _c
                 if target == _expected:
                     stats.inline_check_hits += 1
+                    observer = ex.runtime.observer
+                    if observer is not None:
+                        observer.emit(EV_INLINE_CHECK_HIT, _tag, target=target)
                     return _nxt
                 matched = None
                 for d_tag, d_stub in _dispatch:
@@ -321,6 +346,9 @@ def compile_fragment(fragment, runtime):
                         break
                 if matched is not None:
                     stats.dispatch_check_hits += 1
+                    observer = ex.runtime.observer
+                    if observer is not None:
+                        observer.emit(EV_DISPATCH_CHECK_HIT, _tag, target=target)
                     counter.cycles += taken_penalty
                     ex._next_fragment = ex._direct_exit(
                         matched, cpu, mem, system
@@ -329,6 +357,11 @@ def compile_fragment(fragment, runtime):
                 if _profiler is not None:
                     counter.cycles += CLEAN_CALL_COST
                     stats.clean_calls += 1
+                    observer = ex.runtime.observer
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, _tag, role="profiler", target=target
+                        )
                     _profiler(ex.runtime.current_thread, target)
                 counter.cycles += taken_penalty
                 ex._next_fragment = ex._indirect_exit(
@@ -368,9 +401,12 @@ def compile_fragment(fragment, runtime):
             fn = op[1]
             c = op[2]
 
-            def clean_call_step(ex, cpu, _fn=fn, _c=c, _nxt=nxt):
+            def clean_call_step(ex, cpu, _fn=fn, _c=c, _nxt=nxt, _tag=tag):
                 counter.cycles += _c
                 stats.clean_calls += 1
+                observer = ex.runtime.observer
+                if observer is not None:
+                    observer.emit(EV_CLEAN_CALL, _tag, role="call")
                 _fn(ex.runtime.current_thread)
                 return _nxt
 

@@ -52,6 +52,16 @@ class CacheUnit:
         if existing is fragment:
             del self.fragments[fragment.tag]
 
+    def occupancy(self):
+        """Observability snapshot: bytes used, limit, resident count
+        (surfaced by the drtrace report and cache_eviction events)."""
+        return {
+            "unit": self.name,
+            "used": self.used(),
+            "limit": self.limit,
+            "fragments": len(self.fragments),
+        }
+
     def flush(self):
         """Drop everything; returns the fragments that were resident."""
         dropped = list(self.fragments.values())

@@ -40,6 +40,7 @@ use to validate indirect targets.
 from repro.ir.instr import LabelRef
 from repro.isa.opcodes import Opcode
 from repro.machine.errors import MachineFault
+from repro.observe.events import EV_FRAGMENT_EMIT
 
 OP_EXEC = 0
 OP_LOCAL_BR = 1
@@ -127,8 +128,14 @@ def _verify_before_emit(tag, kind, ilist, runtime):
         runtime.verifier_diagnostics.extend(diagnostics)
 
 
-def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=None):
-    """Lower an InstrList into a :class:`Fragment` (not yet placed)."""
+def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=None,
+                  reason="build"):
+    """Lower an InstrList into a :class:`Fragment` (not yet placed).
+
+    ``reason`` tags the drtrace ``fragment_emit`` event: ``"build"``
+    for fresh blocks/traces, ``"replace"`` when dr_replace_fragment
+    re-emits an optimized version.
+    """
     if options is not None and getattr(options, "verify_fragments", False):
         _verify_before_emit(tag, kind, ilist, runtime)
     ilist.expand_bundles()
@@ -277,6 +284,17 @@ def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=Non
         from repro.core.closures import compile_fragment
 
         compile_fragment(fragment, runtime)
+        observer = runtime.observer
+        if observer is not None:
+            observer.emit(
+                EV_FRAGMENT_EMIT,
+                tag,
+                kind=kind,
+                reason=reason,
+                size=fragment.size,
+                ops=len(fragment.code),
+                exits=len(exits),
+            )
     return fragment
 
 

@@ -47,6 +47,12 @@ from repro.core.closures import compile_fragment
 from repro.machine.errors import MachineFault
 from repro.machine.exec_ops import execute_noncti, read_operand
 from repro.machine.system import pop_signal_frame
+from repro.observe.events import (
+    EV_CLEAN_CALL,
+    EV_CONTEXT_SWITCH,
+    EV_DISPATCH_CHECK_HIT,
+    EV_INLINE_CHECK_HIT,
+)
 
 _MASK32 = 0xFFFFFFFF
 
@@ -98,23 +104,39 @@ class Executor:
             return linked
         counter.cycles += runtime.cost.context_switch
         runtime.stats.context_switches += 1
+        observer = runtime.observer
+        if observer is not None:
+            observer.emit(
+                EV_CONTEXT_SWITCH,
+                stub.target_tag,
+                from_tag=stub.fragment.tag,
+                reason=EXIT_DISPATCH,
+            )
         raise CacheExit(EXIT_DISPATCH, stub.target_tag, stub)
 
     def _indirect_exit(self, stub, target, cpu, mem, system):
         runtime = self.runtime
         counter = runtime.counter
         stats = runtime.stats
+        observer = runtime.observer
         if runtime.options.link_indirect:
             counter.cycles += runtime.cost.ibl_lookup
-            fragment = runtime.current_thread.ibl.lookup(target)
+            fragment = runtime.current_thread.ibl.lookup_counted(
+                target, stats, observer
+            )
             if fragment is not None:
-                stats.ibl_hits += 1
                 return fragment
-            stats.ibl_misses += 1
         if stub is not None and stub.stub_ops:
             self._run_stub_ops(stub.stub_ops, cpu, mem, system, counter)
         counter.cycles += runtime.cost.context_switch
         stats.context_switches += 1
+        if observer is not None:
+            observer.emit(
+                EV_CONTEXT_SWITCH,
+                target,
+                from_tag=stub.fragment.tag if stub is not None else None,
+                reason=EXIT_IBL_MISS,
+            )
         raise CacheExit(EXIT_IBL_MISS, target, stub)
 
     # ------------------------------------------------------------- main loop
@@ -137,6 +159,10 @@ class Executor:
         cost = runtime.cost
         fragment_entry = cost.fragment_entry
         use_closures = runtime.options.closure_engine
+        # drtrace profiler: sampled at fragment-pass granularity only
+        # (one guard per pass, never per instruction) so the simulated
+        # cycle stream is identical with tracing on or off.
+        observer = runtime.observer
 
         try:
             first = True
@@ -161,6 +187,8 @@ class Executor:
                     # thread switch).
                     raise CacheExit(EXIT_DISPATCH, fragment.tag, None)
                 first = False
+                if observer is not None:
+                    observer.profile_enter(fragment, counter.cycles)
                 counter.cycles += fragment_entry
                 if use_closures:
                     # Step table read once — a fragment replaced
@@ -184,6 +212,8 @@ class Executor:
                     raise CacheExit(EXIT_DISPATCH, next_fragment.tag, None)
                 fragment = next_fragment
         except CacheExit as exit_:
+            if observer is not None:
+                observer.profile_break(counter.cycles)
             return exit_.reason, exit_.next_tag, exit_.stub
 
     def _run_ops(self, fragment, thread, cpu, mem, system, counter):
@@ -191,6 +221,7 @@ class Executor:
         engine, kept as the regression reference); returns the next
         fragment or raises CacheExit."""
         runtime = self.runtime
+        observer = runtime.observer
         taken_penalty = runtime.cost.taken_branch_penalty
         regs = cpu.regs
         code = fragment.code
@@ -265,6 +296,11 @@ class Executor:
                 if checker is not None:
                     counter.cycles += CLEAN_CALL_COST
                     runtime.stats.clean_calls += 1
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, fragment.tag,
+                            role="checker", target=target,
+                        )
                     checker(thread, target)
                 if is_call:
                     regs[4] = (regs[4] - 4) & _MASK32
@@ -273,6 +309,11 @@ class Executor:
                 if profiler is not None:
                     counter.cycles += CLEAN_CALL_COST
                     runtime.stats.clean_calls += 1
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, fragment.tag,
+                            role="profiler", target=target,
+                        )
                     profiler(thread, target)
                 next_fragment = self._indirect_exit(
                     exits[exit_idx], target, cpu, mem, system
@@ -303,6 +344,11 @@ class Executor:
                 if checker is not None:
                     counter.cycles += CLEAN_CALL_COST
                     runtime.stats.clean_calls += 1
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, fragment.tag,
+                            role="checker", target=target,
+                        )
                     checker(thread, target)
                 if is_call:
                     regs[4] = (regs[4] - 4) & _MASK32
@@ -310,6 +356,10 @@ class Executor:
                 counter.cycles += c
                 if target == expected:
                     runtime.stats.inline_check_hits += 1
+                    if observer is not None:
+                        observer.emit(
+                            EV_INLINE_CHECK_HIT, fragment.tag, target=target
+                        )
                     i += 1
                     continue
                 matched = None
@@ -320,6 +370,10 @@ class Executor:
                         break
                 if matched is not None:
                     runtime.stats.dispatch_check_hits += 1
+                    if observer is not None:
+                        observer.emit(
+                            EV_DISPATCH_CHECK_HIT, fragment.tag, target=target
+                        )
                     counter.cycles += taken_penalty
                     next_fragment = self._direct_exit(
                         exits[matched], cpu, mem, system
@@ -328,6 +382,11 @@ class Executor:
                 if profiler is not None:
                     counter.cycles += CLEAN_CALL_COST
                     runtime.stats.clean_calls += 1
+                    if observer is not None:
+                        observer.emit(
+                            EV_CLEAN_CALL, fragment.tag,
+                            role="profiler", target=target,
+                        )
                     profiler(thread, target)
                 counter.cycles += taken_penalty
                 next_fragment = self._indirect_exit(
@@ -347,6 +406,8 @@ class Executor:
             if kind == OP_CLEAN_CALL:
                 counter.cycles += op[2]
                 runtime.stats.clean_calls += 1
+                if observer is not None:
+                    observer.emit(EV_CLEAN_CALL, fragment.tag, role="call")
                 op[1](thread)
                 i += 1
                 continue

@@ -11,6 +11,8 @@ head must come back to the dispatcher so the head's execution counter
 advances (the same reason trace heads stay unlinked).
 """
 
+from repro.observe.events import EV_IBL_HIT, EV_IBL_MISS
+
 
 class IndirectBranchTable:
     """tag → Fragment map with hit/miss accounting hooks."""
@@ -20,6 +22,21 @@ class IndirectBranchTable:
 
     def lookup(self, tag):
         return self._table.get(tag)
+
+    def lookup_counted(self, tag, stats, observer=None):
+        """The executor's accounted lookup: bumps the hit/miss counters
+        and, when tracing is enabled, emits the matching drtrace event.
+        Returns the fragment or ``None``."""
+        fragment = self._table.get(tag)
+        if fragment is not None:
+            stats.ibl_hits += 1
+            if observer is not None:
+                observer.emit(EV_IBL_HIT, tag, fragment_kind=fragment.kind)
+            return fragment
+        stats.ibl_misses += 1
+        if observer is not None:
+            observer.emit(EV_IBL_MISS, tag)
+        return None
 
     def insert(self, fragment):
         self._table[fragment.tag] = fragment

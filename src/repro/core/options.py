@@ -22,6 +22,8 @@ class RuntimeOptions:
         sideline_optimization=False,
         verify_fragments=False,
         closure_engine=True,
+        trace_events=False,
+        trace_buffer=65536,
     ):
         # Table 1 mechanisms, cumulative.
         self.bb_cache = bb_cache
@@ -49,6 +51,14 @@ class RuntimeOptions:
         # produce bit-identical simulated results; only host wall-clock
         # time differs.
         self.closure_engine = closure_engine
+        # Observability (repro.observe): record typed runtime events
+        # and per-fragment cycle attribution.  Off by default — the
+        # runtime's observer is None and every emit site is a single
+        # pointer check; simulated cycles are identical either way.
+        self.trace_events = trace_events
+        # Ring-buffer capacity for recorded event detail (aggregate
+        # per-kind counts are always exact); None = unbounded.
+        self.trace_buffer = trace_buffer
 
     def copy(self):
         new = RuntimeOptions()

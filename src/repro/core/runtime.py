@@ -34,6 +34,19 @@ from repro.machine.cost import CostModel, CycleCounter
 from repro.machine.errors import MachineFault, ProgramExit
 from repro.machine.interp import DEFAULT_MAX_INSTRUCTIONS, Interpreter, RunResult
 from repro.machine.system import System, ThreadExit, push_signal_frame
+from repro.observe.events import (
+    EV_CACHE_EVICTION,
+    EV_CLIENT_HOOK,
+    EV_FRAGMENT_DELETE,
+    EV_FRAGMENT_LINK,
+    EV_FRAGMENT_REPLACE,
+    EV_FRAGMENT_UNLINK,
+    EV_SIGNAL_DELIVERED,
+    EV_THREAD_SPAWN,
+    EV_TRACE_HEAD_COUNT,
+    EV_TRACE_HEAD_PROMOTED,
+    Observer,
+)
 
 
 class DynamoRIO:
@@ -48,6 +61,13 @@ class DynamoRIO:
         self.system = System()
         self.counter = CycleCounter()
         self.stats = RuntimeStats()
+        # drtrace: None when disabled — every emit site guards on it,
+        # so tracing-off runs never construct an Event.
+        self.observer = (
+            Observer(self.options.trace_buffer)
+            if self.options.trace_events
+            else None
+        )
         self._register_runtime_regions()
         # Warnings (and, pre-raise, errors) from the fragment verifier
         # when options.verify_fragments is enabled.
@@ -119,8 +139,11 @@ class DynamoRIO:
         )
         if not self.options.thread_private and len(self.threads) > 1:
             self.counter.charge(self.cost.shared_cache_sync, "cache_sync")
+        observer = self.observer
         if self.client is not None:
             self.stats.client_bb_hooks += 1
+            if observer is not None:
+                observer.emit(EV_CLIENT_HOOK, tag, phase="bb", instrs=count)
             self.counter.cycles += self.cost.client_bb_hook_per_instr * count
             self.client.basic_block(thread, tag, ilist)
         fragment = emit_fragment(
@@ -129,6 +152,8 @@ class DynamoRIO:
         )
         if tag in self.pending_trace_heads:
             fragment.is_trace_head = True
+            if observer is not None:
+                observer.emit(EV_TRACE_HEAD_PROMOTED, tag, reason="client")
         self._place(thread.bb_cache, fragment)
         self.stats.bbs_built += 1
         # Trace heads are kept out of the IBL so every entry is counted.
@@ -140,6 +165,18 @@ class DynamoRIO:
         try:
             cache.allocate(fragment)
         except CacheFullError:
+            observer = self.observer
+            if observer is not None:
+                occ = cache.occupancy()
+                observer.emit(
+                    EV_CACHE_EVICTION,
+                    fragment.tag,
+                    unit=occ["unit"],
+                    used=occ["used"],
+                    limit=occ["limit"],
+                    dropped=occ["fragments"],
+                    incoming_size=fragment.size,
+                )
             self._flush_cache(cache)
             self.stats.cache_evictions += 1
             cache.allocate(fragment)
@@ -156,9 +193,11 @@ class DynamoRIO:
         if from_cache:
             cache = thread.trace_cache if fragment.is_trace else thread.bb_cache
             cache.remove(fragment)
+        unlinked = 0
         for stub in fragment.incoming:
             if stub.linked_to is fragment:
                 stub.linked_to = None
+                unlinked += 1
         fragment.incoming = []
         for stub in fragment.exits:
             if stub.linked_to is not None:
@@ -167,7 +206,23 @@ class DynamoRIO:
                 except ValueError:
                     pass
                 stub.linked_to = None
+                unlinked += 1
         self.stats.fragments_deleted += 1
+        observer = self.observer
+        if observer is not None:
+            if unlinked:
+                observer.emit(
+                    EV_FRAGMENT_UNLINK,
+                    fragment.tag,
+                    reason="delete",
+                    links=unlinked,
+                )
+            observer.emit(
+                EV_FRAGMENT_DELETE,
+                fragment.tag,
+                kind=fragment.kind,
+                size=fragment.size,
+            )
         if self.client is not None:
             self.client.fragment_deleted(thread, fragment.tag)
 
@@ -187,6 +242,15 @@ class DynamoRIO:
         target_fragment.incoming.append(stub)
         self.counter.cycles += self.cost.link_cost
         self.stats.direct_links += 1
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                EV_FRAGMENT_LINK,
+                stub.fragment.tag,
+                target=target_fragment.tag,
+                exit_index=stub.index,
+                target_kind=target_fragment.kind,
+            )
 
     # ----------------------------------------------------------- trace heads
 
@@ -198,10 +262,20 @@ class DynamoRIO:
             fragment.is_trace_head = True
             self.current_thread.ibl.remove(fragment)
             # unlink incoming so entries flow through dispatch
+            unlinked = 0
             for stub in fragment.incoming:
                 if stub.linked_to is fragment:
                     stub.linked_to = None
+                    unlinked += 1
             fragment.incoming = []
+            observer = self.observer
+            if observer is not None:
+                if unlinked:
+                    observer.emit(
+                        EV_FRAGMENT_UNLINK, tag, reason="trace_head",
+                        links=unlinked,
+                    )
+                observer.emit(EV_TRACE_HEAD_PROMOTED, tag, reason="client")
 
     def _note_branch_origin(self, stub, target_fragment):
         """Default trace-head detection: targets of backward branches
@@ -230,16 +304,28 @@ class DynamoRIO:
         fragment.is_trace_head = True
         thread = self.current_thread
         thread.ibl.remove(fragment)
+        unlinked = 0
         for stub in fragment.incoming:
             if stub.linked_to is fragment:
                 stub.linked_to = None
+                unlinked += 1
         fragment.incoming = []
+        observer = self.observer
+        if observer is not None:
+            if unlinked:
+                observer.emit(
+                    EV_FRAGMENT_UNLINK, fragment.tag, reason="trace_head",
+                    links=unlinked,
+                )
+            observer.emit(
+                EV_TRACE_HEAD_PROMOTED, fragment.tag, reason="backward_branch"
+            )
 
     # ---------------------------------------------------------------- traces
 
     def _finalize_trace(self, recording):
         thread = self.current_thread
-        ilist = stitch_trace(recording)
+        ilist = stitch_trace(recording, self.observer)
         ilist.decode_all()
         count = ilist.instr_count()
         build_cycles = (
@@ -259,6 +345,11 @@ class DynamoRIO:
             self.counter.charge(self.cost.shared_cache_sync, "cache_sync")
         if self.client is not None:
             self.stats.client_trace_hooks += 1
+            if self.observer is not None:
+                self.observer.emit(
+                    EV_CLIENT_HOOK, recording.head_tag, phase="trace",
+                    instrs=count, blocks=len(recording),
+                )
             hook_cycles = self.cost.client_trace_hook_per_instr * count
             if self.options.sideline_optimization:
                 self.counter.events["sideline_cycles"] = (
@@ -318,6 +409,13 @@ class DynamoRIO:
         thread.cpu.regs[4] = stack_pointer & 0xFFFFFFFF
         thread.resume_tag = thread.cpu.pc
         self.counter.count("threads_spawned")
+        if self.observer is not None:
+            self.observer.emit(
+                EV_THREAD_SPAWN,
+                thread.cpu.pc,
+                thread_index=len(self.threads) - 1,
+                private=self.options.thread_private,
+            )
         # the running thread must yield so the new one gets scheduled
         self._need_reschedule = True
         if self.client is not None:
@@ -328,7 +426,10 @@ class DynamoRIO:
         """Run the application under the runtime; returns a RunResult."""
         if not self.options.bb_cache:
             # Table 1 row 1: pure emulation (no cache, no client hooks).
-            interp = Interpreter(self.process, self.cost, mode="emulation")
+            interp = Interpreter(
+                self.process, self.cost, mode="emulation",
+                observer=self.observer,
+            )
             return interp.run(entry=entry, max_instructions=max_instructions)
 
         self._client_init()
@@ -375,6 +476,8 @@ class DynamoRIO:
         finally:
             self.current_thread = self.threads[0]
             self._client_exit()
+            if self.observer is not None:
+                self.observer.finalize(self.counter.cycles)
         return RunResult(
             cycles=self.counter.cycles,
             instructions=self.executor.instructions,
@@ -420,6 +523,12 @@ class DynamoRIO:
                 ):
                     fragment.head_counter += 1
                     self.stats.trace_head_counts += 1
+                    if self.observer is not None:
+                        self.observer.emit(
+                            EV_TRACE_HEAD_COUNT,
+                            fragment.tag,
+                            count=fragment.head_counter,
+                        )
                     if fragment.head_counter >= self.options.trace_threshold:
                         recording = TraceRecording(fragment.tag)
                         thread.trace_in_progress = recording
@@ -476,6 +585,12 @@ class DynamoRIO:
         self.system.clear_alarm()
         self.system.signals_delivered += 1
         self.counter.charge(self.cost.signal_delivery, "signals_delivered")
+        if self.observer is not None:
+            self.observer.emit(
+                EV_SIGNAL_DELIVERED,
+                interrupted_tag,
+                handler=self.system.signal_handler,
+            )
         return self.system.signal_handler
 
     def _events(self):
@@ -491,6 +606,8 @@ class DynamoRIO:
             trace_total += len(thread.trace_cache)
         events["bb_cache_fragments"] = bb_total
         events["trace_cache_fragments"] = trace_total
+        if self.observer is not None:
+            events.update(self.observer.summary())
         return events
 
     # ------------------------------------------- adaptive optimization API
@@ -518,7 +635,7 @@ class DynamoRIO:
             return False
         new = emit_fragment(
             tag, old.kind, ilist, self.cost, self.options, self.stats,
-            runtime=self,
+            runtime=self, reason="replace",
         )
         new.is_trace_head = old.is_trace_head
         new.head_counter = old.head_counter
@@ -536,6 +653,7 @@ class DynamoRIO:
                 new.incoming.append(stub)
         old.incoming = []
         # Outgoing links of the old fragment dissolve.
+        unlinked = 0
         for stub in old.exits:
             if stub.linked_to is not None:
                 try:
@@ -543,6 +661,20 @@ class DynamoRIO:
                 except ValueError:
                     pass
                 stub.linked_to = None
+                unlinked += 1
         old.deleted = True
         self.stats.fragments_replaced += 1
+        observer = self.observer
+        if observer is not None:
+            if unlinked:
+                observer.emit(
+                    EV_FRAGMENT_UNLINK, tag, reason="replace", links=unlinked
+                )
+            observer.emit(
+                EV_FRAGMENT_REPLACE,
+                tag,
+                kind=new.kind,
+                generation=new.generation,
+                moved_links=len(new.incoming),
+            )
         return True

@@ -2,7 +2,16 @@
 
 
 class RuntimeStats:
-    """Plain named counters; attribute access keeps hot paths cheap."""
+    """Plain named counters; attribute access keeps hot paths cheap.
+
+    ``__slots__`` doubles as a drift guard: every counter must be
+    declared in ``FIELDS`` — setting an undeclared attribute raises
+    ``AttributeError`` immediately instead of silently accumulating a
+    number no report ever surfaces.  A regression test additionally
+    checks that each declared field has at least one increment site in
+    the source tree, and that each maps onto a drtrace event kind
+    (``repro.observe.events.STATS_EVENT_MAP``).
+    """
 
     FIELDS = (
         "bbs_built",
@@ -21,6 +30,8 @@ class RuntimeStats:
         "client_trace_hooks",
         "cache_evictions",
     )
+
+    __slots__ = FIELDS
 
     def __init__(self):
         for name in self.FIELDS:

@@ -21,6 +21,7 @@ from repro.ir.instr import Instr
 from repro.ir.instrlist import InstrList
 from repro.isa.opcodes import JCC_OPPOSITE, Opcode
 from repro.isa.operands import PcOperand
+from repro.observe.events import EV_TRACE_STITCH
 
 # Client end-trace answers (paper Table 3 / Section 3.5).
 END_TRACE = 1
@@ -78,14 +79,21 @@ def _is_synthetic_jmp(instr):
     return isinstance(instr.note, dict) and instr.note.get("synthetic_fallthrough")
 
 
-def stitch_trace(recording):
+def stitch_trace(recording, observer=None):
     """Stitch recorded blocks into one linear InstrList.
 
     ``recording.entries[i+1].tag`` is the on-trace continuation of block
-    ``i``; the last block's exits are left untouched.
+    ``i``; the last block's exits are left untouched.  When tracing is
+    enabled, emits one ``trace_stitch`` event summarizing the layout
+    transformations (elided jumps, inverted branches, inlined calls and
+    indirect checks — the paper's Figure 4 mechanisms).
     """
     trace = InstrList()
     entries = recording.entries
+    elided_jumps = 0
+    inverted_branches = 0
+    inlined_calls = 0
+    inlined_checks = 0
     for i, fragment in enumerate(entries):
         block = _copy_block(fragment.instrs_source)
         is_last = i == len(entries) - 1
@@ -119,6 +127,7 @@ def stitch_trace(recording):
                     instr.set_opcode(JCC_OPPOSITE[opcode])
                     instr.set_target(PcOperand(fallthrough))
                     instr.is_exit_cti = True
+                    inverted_branches += 1
                     trace.append(instr)
                     j += 2  # drop the synthetic jmp: elided
                 else:
@@ -130,6 +139,7 @@ def stitch_trace(recording):
 
             if opcode == Opcode.JMP:
                 if instr.target.pc == next_tag:
+                    elided_jumps += 1
                     j += 1  # elided: fall straight into the next block
                 else:
                     trace.append(instr)
@@ -141,6 +151,7 @@ def stitch_trace(recording):
                     note = instr.note if isinstance(instr.note, dict) else {}
                     note["inline"] = True
                     instr.note = note
+                    inlined_calls += 1
                 trace.append(instr)
                 j += 1
                 continue
@@ -152,10 +163,21 @@ def stitch_trace(recording):
                 note["inline_target"] = next_tag
                 instr.note = note
                 instr.is_exit_cti = True
+                inlined_checks += 1
                 trace.append(instr)
                 j += 1
                 continue
 
             trace.append(instr)
             j += 1
+    if observer is not None:
+        observer.emit(
+            EV_TRACE_STITCH,
+            recording.head_tag,
+            blocks=len(entries),
+            elided_jumps=elided_jumps,
+            inverted_branches=inverted_branches,
+            inlined_calls=inlined_calls,
+            inlined_checks=inlined_checks,
+        )
     return trace

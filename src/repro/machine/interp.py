@@ -37,6 +37,7 @@ from repro.machine.system import (
     pop_signal_frame,
     push_signal_frame,
 )
+from repro.observe.events import EV_SIGNAL_DELIVERED, EV_THREAD_SPAWN
 
 _MASK32 = 0xFFFFFFFF
 
@@ -95,12 +96,15 @@ class Interpreter:
     """
 
     def __init__(self, process, cost_model=None, mode="native", quantum=100,
-                 engine="closure"):
+                 engine="closure", observer=None):
         if mode not in ("native", "emulation"):
             raise ValueError("mode must be 'native' or 'emulation'")
         if engine not in ("closure", "tuple"):
             raise ValueError("engine must be 'closure' or 'tuple'")
         self.process = process
+        # drtrace: no fragments exist at this level, so only the system
+        # events (signals, thread spawns) are observable.
+        self.observer = observer
         self.cost = cost_model if cost_model is not None else CostModel()
         self.mode = mode
         self.quantum = quantum
@@ -170,6 +174,12 @@ class Interpreter:
         thread.cpu.regs[4] = stack_pointer & _MASK32
         self._threads.append(thread)
         self.counter.count("threads_spawned")
+        if self.observer is not None:
+            self.observer.emit(
+                EV_THREAD_SPAWN,
+                thread.cpu.pc,
+                thread_index=len(self._threads) - 1,
+            )
 
     def run(self, entry=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
         """Run until program exit; returns a :class:`RunResult`."""
@@ -200,21 +210,32 @@ class Interpreter:
                     thread.alive = False
         except ProgramExit as exit_:
             exit_code = exit_.code
+        events = dict(self.counter.events)
+        if self.observer is not None:
+            self.observer.finalize(self.counter.cycles)
+            events.update(self.observer.summary())
         return RunResult(
             cycles=self.counter.cycles,
             instructions=self._instructions,
             output=self.system.output_bytes(),
             exit_code=exit_code,
-            events=dict(self.counter.events),
+            events=events,
         )
 
     def _deliver_signal(self, cpu):
         """Redirect to the signal handler with a full signal frame."""
+        interrupted = cpu.pc
         push_signal_frame(cpu, self.process.memory, cpu.pc)
         cpu.pc = self.system.signal_handler
         self.system.clear_alarm()
         self.system.signals_delivered += 1
         self.counter.charge(self.cost.signal_delivery, "signals_delivered")
+        if self.observer is not None:
+            self.observer.emit(
+                EV_SIGNAL_DELIVERED,
+                interrupted,
+                handler=self.system.signal_handler,
+            )
 
     def _run_quantum(self, thread, quantum, max_instructions):
         """Closure-driven quantum loop.

@@ -1,0 +1,75 @@
+"""``repro.observe`` — structured runtime tracing and profiling (drtrace).
+
+The observability layer the adaptive-optimization work stands on:
+
+=================  ====================================================
+``events``         typed event kinds, the bounded-ring :class:`Observer`
+``profiler``       per-fragment cycle/entry attribution
+``sinks``          JSONL export and the end-of-run text report
+=================  ====================================================
+
+Enable with ``RuntimeOptions(trace_events=True)`` (or the
+``python -m repro.tools.trace`` CLI); consume from a client via
+``dr_register_event_tracer`` / ``dr_get_profile``.  With tracing off
+the runtime's ``observer`` is ``None`` and every emit site is a single
+pointer check — simulated cycles are identical either way.
+"""
+
+from repro.observe.events import (
+    EVENT_KINDS,
+    EV_CACHE_EVICTION,
+    EV_CLEAN_CALL,
+    EV_CLIENT_HOOK,
+    EV_CONTEXT_SWITCH,
+    EV_DISPATCH_CHECK_HIT,
+    EV_FRAGMENT_DELETE,
+    EV_FRAGMENT_EMIT,
+    EV_FRAGMENT_LINK,
+    EV_FRAGMENT_REPLACE,
+    EV_FRAGMENT_UNLINK,
+    EV_IBL_HIT,
+    EV_IBL_MISS,
+    EV_INLINE_CHECK_HIT,
+    EV_SIGNAL_DELIVERED,
+    EV_THREAD_SPAWN,
+    EV_TRACE_HEAD_COUNT,
+    EV_TRACE_HEAD_PROMOTED,
+    EV_TRACE_STITCH,
+    Event,
+    Observer,
+    STATS_EVENT_MAP,
+    replay_stats,
+)
+from repro.observe.profiler import OVERHEAD_KEY, FragmentProfiler
+from repro.observe.sinks import format_event, format_report, write_jsonl
+
+__all__ = [
+    "EVENT_KINDS",
+    "EV_CACHE_EVICTION",
+    "EV_CLEAN_CALL",
+    "EV_CLIENT_HOOK",
+    "EV_CONTEXT_SWITCH",
+    "EV_DISPATCH_CHECK_HIT",
+    "EV_FRAGMENT_DELETE",
+    "EV_FRAGMENT_EMIT",
+    "EV_FRAGMENT_LINK",
+    "EV_FRAGMENT_REPLACE",
+    "EV_FRAGMENT_UNLINK",
+    "EV_IBL_HIT",
+    "EV_IBL_MISS",
+    "EV_INLINE_CHECK_HIT",
+    "EV_SIGNAL_DELIVERED",
+    "EV_THREAD_SPAWN",
+    "EV_TRACE_HEAD_COUNT",
+    "EV_TRACE_HEAD_PROMOTED",
+    "EV_TRACE_STITCH",
+    "Event",
+    "FragmentProfiler",
+    "Observer",
+    "OVERHEAD_KEY",
+    "STATS_EVENT_MAP",
+    "format_event",
+    "format_report",
+    "replay_stats",
+    "write_jsonl",
+]

@@ -1,0 +1,94 @@
+"""Sinks for the drtrace event stream and profiler.
+
+Three consumption paths:
+
+* :func:`write_jsonl` — one JSON object per recorded event, for
+  offline analysis;
+* :func:`format_report` — the end-of-run text report (event counts,
+  hot-fragment table, attribution summary) printed by
+  ``python -m repro.tools.trace``;
+* ``Observer.summary()`` (in :mod:`repro.observe.events`) — flat
+  integer counters merged into ``RunResult.events`` so experiments can
+  assert on tracing results without touching the ring.
+"""
+
+import json
+
+
+def write_jsonl(events, fp_or_path):
+    """Write events as JSON Lines; returns the number written."""
+    if hasattr(fp_or_path, "write"):
+        return _write_jsonl_fp(events, fp_or_path)
+    with open(fp_or_path, "w") as fp:
+        return _write_jsonl_fp(events, fp)
+
+
+def _write_jsonl_fp(events, fp):
+    n = 0
+    for event in events:
+        fp.write(json.dumps(event.to_dict(), sort_keys=True))
+        fp.write("\n")
+        n += 1
+    return n
+
+
+def format_event(event):
+    """One-line human rendering of an event."""
+    tag = "0x%x" % event.tag if event.tag is not None else "-"
+    if event.data:
+        detail = " ".join(
+            "%s=%s" % (k, v) for k, v in sorted(event.data.items())
+        )
+        return "#%-7d %-20s %-10s %s" % (event.seq, event.kind, tag, detail)
+    return "#%-7d %-20s %s" % (event.seq, event.kind, tag)
+
+
+def format_report(observer, top=10, total_cycles=None):
+    """The end-of-run text report; returns a string."""
+    lines = []
+    lines.append("== drtrace report ==")
+    lines.append(
+        "events: %d recorded (%d emitted, %d dropped from ring)"
+        % (len(observer.ring), observer.total_emitted, observer.dropped)
+    )
+    if observer.counts:
+        lines.append("")
+        lines.append("event counts:")
+        for kind in sorted(observer.counts):
+            lines.append("  %-22s %d" % (kind, observer.counts[kind]))
+
+    prof = observer.profiler
+    attributed = prof.attributed_cycles()
+    overhead = prof.overhead_cycles()
+    total = prof.total_cycles()
+    lines.append("")
+    lines.append(
+        "cycle attribution: %d in fragments, %d runtime overhead"
+        % (attributed, overhead)
+    )
+    if total_cycles is not None:
+        lines.append(
+            "attribution coverage: %d / %d total simulated cycles"
+            % (total, total_cycles)
+        )
+    rows = prof.hot_fragments(top=top)
+    if rows:
+        lines.append("")
+        lines.append(
+            "hot fragments (top %d of %d):" % (len(rows), prof.fragment_count())
+        )
+        lines.append(
+            "  %-12s %-6s %10s %14s %7s" % ("tag", "kind", "entries", "cycles", "share")
+        )
+        for row in rows:
+            lines.append(
+                "  %-12s %-6s %10d %14d %6.1f%%"
+                % (
+                    "0x%x" % row["tag"],
+                    row["kind"],
+                    row["entries"],
+                    row["cycles"],
+                    100.0 * row["share"],
+                )
+            )
+    return "\n".join(lines)

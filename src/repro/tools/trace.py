@@ -1,0 +1,117 @@
+"""Run a program with drtrace enabled and inspect the event stream.
+
+Usage::
+
+    python -m repro.tools.trace program.mc
+    python -m repro.tools.trace program.mc --top 20
+    python -m repro.tools.trace program.mc --events
+    python -m repro.tools.trace program.mc --events --filter ibl_hit,ibl_miss
+    python -m repro.tools.trace --benchmark mgrid --client rlr --jsonl out.jsonl
+
+Prints the end-of-run drtrace report (event counts, hot-fragment
+table, cycle-attribution coverage); ``--events`` additionally dumps the
+recorded events one per line, ``--filter`` narrows them to a
+comma-separated list of kinds, and ``--jsonl`` exports them as JSON
+Lines for offline analysis.
+"""
+
+import argparse
+
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.cost import CostModel, Family
+from repro.observe import EVENT_KINDS, format_event, format_report, write_jsonl
+from repro.tools.run import CLIENTS
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("source", nargs="?", help="MiniC source file")
+    parser.add_argument("--benchmark", help="run a suite benchmark instead")
+    parser.add_argument("--scale", default="test")
+    parser.add_argument("--client", default="none", choices=sorted(CLIENTS))
+    parser.add_argument(
+        "--family", default="p4", choices=["p3", "p4"], help="processor model"
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="hot-fragment table rows in the report (default 10)",
+    )
+    parser.add_argument(
+        "--events", action="store_true",
+        help="dump the recorded events, one per line",
+    )
+    parser.add_argument(
+        "--filter", metavar="KINDS",
+        help="comma-separated event kinds to keep (with --events/--jsonl)",
+    )
+    parser.add_argument(
+        "--jsonl", metavar="FILE", help="export recorded events as JSON Lines"
+    )
+    parser.add_argument(
+        "--buffer", type=int, default=65536,
+        help="event ring capacity (0 = unbounded; default 65536)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.benchmark:
+        from repro.workloads import load_benchmark
+
+        image = load_benchmark(args.benchmark, args.scale)
+    elif args.source:
+        from repro.minicc import compile_source
+
+        with open(args.source) as f:
+            image = compile_source(f.read())
+    else:
+        parser.error("provide a source file or --benchmark")
+
+    kinds = None
+    if args.filter:
+        kinds = [k.strip() for k in args.filter.split(",") if k.strip()]
+        unknown = [k for k in kinds if k not in EVENT_KINDS]
+        if unknown:
+            parser.error(
+                "unknown event kind(s): %s (known: %s)"
+                % (", ".join(unknown), ", ".join(EVENT_KINDS))
+            )
+
+    if args.client == "shepherd":
+        from repro.clients import ProgramShepherding
+
+        client = ProgramShepherding(image=image)
+    else:
+        client = CLIENTS[args.client]()
+    family = Family.PENTIUM_IV if args.family == "p4" else Family.PENTIUM_III
+    options = RuntimeOptions.with_traces()
+    options.trace_events = True
+    options.trace_buffer = None if args.buffer == 0 else args.buffer
+    runtime = DynamoRIO(
+        Process(image),
+        options=options,
+        client=client,
+        cost_model=CostModel(family),
+    )
+    result = runtime.run()
+    observer = runtime.observer
+
+    print(
+        "run: %d cycles, %d instructions, exit=%s"
+        % (result.cycles, result.instructions, result.exit_code)
+    )
+    print(format_report(observer, top=args.top, total_cycles=result.cycles))
+
+    selected = observer.events(kinds)
+    if args.events:
+        print()
+        print("events (%d):" % len(selected))
+        for event in selected:
+            print(format_event(event))
+    if args.jsonl:
+        n = write_jsonl(selected, args.jsonl)
+        print("wrote %d events to %s" % (n, args.jsonl))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -159,3 +159,64 @@ def test_ablation_rows_bit_identical(images):
         b = DynamoRIO(Process(image), options=options_b,
                       cost_model=CostModel()).run()
         _assert_identical(a, b)
+
+
+# --------------------------------------------------- drtrace differential
+
+def _run_traced(image, client_factory, closure_engine):
+    """Run with drtrace on (unbounded ring) and return (runtime, result)."""
+    options = RuntimeOptions.with_traces()
+    options.closure_engine = closure_engine
+    options.trace_events = True
+    options.trace_buffer = None
+    runtime = DynamoRIO(
+        Process(image),
+        options=options,
+        client=client_factory(),
+        cost_model=CostModel(),
+    )
+    return runtime, runtime.run()
+
+
+def _stream(runtime):
+    """The recorded events minus the seq numbers (compared across runs)."""
+    return [(e.kind, e.tag, e.data) for e in runtime.observer.events()]
+
+
+def _check_traced_pair(image, factory):
+    from repro.observe import replay_stats
+
+    rt_c, res_c = _run_traced(image, factory, closure_engine=True)
+    rt_t, res_t = _run_traced(image, factory, closure_engine=False)
+    _assert_identical(res_c, res_t)
+
+    # Replaying the event stream reconstructs every RuntimeStats counter
+    # exactly, for both engines.
+    for rt in (rt_c, rt_t):
+        assert rt.observer.dropped == 0
+        assert replay_stats(rt.observer.events()) == rt.stats.as_dict()
+
+    # The streams themselves are identical event by event.
+    assert _stream(rt_c) == _stream(rt_t)
+
+    # Tracing must not perturb the simulated machine: a tracing-off run
+    # of the closure engine lands on the same cycles/output.
+    plain = _run_runtime(image, factory, closure_engine=True)
+    assert plain.cycles == res_c.cycles
+    assert plain.instructions == res_c.instructions
+    assert plain.output == res_c.output
+
+
+@pytest.mark.parametrize("client_name", ["none", "indirect_dispatch"])
+@pytest.mark.parametrize("source_name", ["loop", "indirect"])
+def test_traced_runs_replay_stats_and_match_engines(
+    images, source_name, client_name
+):
+    _check_traced_pair(images[source_name], CLIENTS[client_name])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("client_name", sorted(CLIENTS))
+@pytest.mark.parametrize("source_name", sorted(SOURCES))
+def test_traced_runs_full_matrix(images, source_name, client_name):
+    _check_traced_pair(images[source_name], CLIENTS[client_name])

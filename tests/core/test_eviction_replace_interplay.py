@@ -1,0 +1,116 @@
+"""Regression: cache eviction racing fragment replacement.
+
+An absurdly small code cache forces unit flushes (core/runtime.py
+``_place``) while a client keeps calling ``dr_replace_fragment`` from
+clean calls *inside* the fragments being replaced.  The hazard under
+test: a flush deletes a replaced fragment (or the replacement itself),
+and a stale exit stub or IBL entry funnels execution into freed code.
+Transparent output proves no stale-stub execution; with tracing on,
+the recorded ``fragment_delete`` / ``cache_eviction`` events must
+reconstruct the live counters exactly.
+"""
+
+import pytest
+
+from repro.api.client import Client
+from repro.api.dr import (
+    dr_decode_fragment,
+    dr_insert_clean_call,
+    dr_replace_fragment,
+)
+from repro.core import RuntimeOptions
+from repro.ir.create import INSTR_CREATE_nop
+from repro.observe import replay_stats
+
+from tests.core.conftest import run_under
+
+
+class _ChurningClient(Client):
+    """Replaces every fragment it sees, again after each flush.
+
+    ``fragment_deleted`` clears the per-tag marker, so when an evicted
+    tag is rebuilt the rebuild gets replaced too — replacement and
+    eviction keep interleaving for the whole run.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.replaced = set()
+        self.replacements = 0
+        self.deletions = 0
+
+    def _hook(self, context, tag, ilist):
+        def replace_self(ctx, _tag=tag):
+            if _tag in self.replaced:
+                return
+            il = dr_decode_fragment(ctx, _tag)
+            if il is None:
+                return
+            il.prepend(INSTR_CREATE_nop())
+            if dr_replace_fragment(ctx, _tag, il):
+                self.replaced.add(_tag)
+                self.replacements += 1
+
+        dr_insert_clean_call(ilist, ilist.first(), replace_self)
+
+    basic_block = _hook
+    trace = _hook
+
+    def fragment_deleted(self, context, tag):
+        self.deletions += 1
+        self.replaced.discard(tag)
+
+
+def _churn_options(closure_engine):
+    opts = RuntimeOptions.with_traces()
+    opts.code_cache_limit = 700  # constant flushing (test_cache_and_stubs)
+    opts.trace_threshold = 5
+    opts.closure_engine = closure_engine
+    opts.trace_events = True
+    opts.trace_buffer = None  # unbounded: replay must be exact
+    return opts
+
+
+@pytest.mark.parametrize("closure_engine", [True, False])
+def test_eviction_during_replacement_stays_transparent(
+    loop_image, loop_native, closure_engine
+):
+    client = _ChurningClient()
+    dr, result = run_under(
+        loop_image, _churn_options(closure_engine), client=client
+    )
+
+    # The interplay actually happened: fragments were replaced AND the
+    # cache flushed out fragments (including replaced ones) mid-run.
+    assert client.replacements >= 1
+    assert result.events["fragments_replaced"] == client.replacements
+    assert result.events["cache_evictions"] >= 1
+    assert result.events["fragments_deleted"] >= 1
+    assert client.deletions == result.events["fragments_deleted"]
+    # Tags were re-replaced after eviction rebuilt them.
+    assert client.replacements > len(client.replaced)
+
+    # No stale-stub execution: the app ran to completion with output
+    # identical to native.
+    assert result.exit_code == loop_native.exit_code
+    assert result.output == loop_native.output
+
+    # The event stream accounts for every deletion/eviction the stats
+    # saw — nothing double-counted, nothing missed.
+    observer = dr.observer
+    assert observer.dropped == 0
+    assert replay_stats(observer.events()) == dr.stats.as_dict()
+
+
+def test_no_stale_fragments_remain(loop_image):
+    """After the run, every live cache entry is a non-deleted fragment
+    and every linked stub points at a live fragment."""
+    client = _ChurningClient()
+    dr, _ = run_under(loop_image, _churn_options(True), client=client)
+    thread = dr.current_thread
+    for cache in (thread.bb_cache, thread.trace_cache):
+        for fragment in cache.fragments.values():
+            assert not fragment.deleted
+            for stub in fragment.exits:
+                if stub.linked_to is not None:
+                    assert not stub.linked_to.deleted

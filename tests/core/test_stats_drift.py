@@ -1,0 +1,69 @@
+"""Drift guards keeping RuntimeStats, its mutation sites, and the
+drtrace event taxonomy in lockstep.
+
+Three ways the counters can silently rot:
+
+1. a counter is declared but nothing ever increments it (dead stat);
+2. code grows a new ``stats.foo += 1`` site without declaring ``foo``
+   (``__slots__`` turns this into an immediate AttributeError, tested
+   here rather than trusted);
+3. a counter increments without emitting the matching drtrace event,
+   so replayed streams stop reconstructing the stats exactly
+   (``STATS_EVENT_MAP`` must cover FIELDS one-to-one).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.stats import RuntimeStats
+from repro.observe.events import EVENT_KINDS, STATS_EVENT_MAP
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+_INCREMENT = re.compile(r"\bstats\.([a-z_]+)\s*\+=")
+
+
+def _increment_sites():
+    """field name -> set of source files with a ``stats.<field> +=``."""
+    sites = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for match in _INCREMENT.finditer(path.read_text()):
+            sites.setdefault(match.group(1), set()).add(
+                str(path.relative_to(SRC))
+            )
+    return sites
+
+
+def test_every_field_has_an_increment_site():
+    sites = _increment_sites()
+    missing = [f for f in RuntimeStats.FIELDS if f not in sites]
+    assert not missing, "declared but never incremented: %s" % missing
+
+
+def test_every_increment_site_is_declared():
+    sites = _increment_sites()
+    undeclared = sorted(set(sites) - set(RuntimeStats.FIELDS))
+    assert not undeclared, "incremented but not in FIELDS: %s" % undeclared
+
+
+def test_slots_reject_undeclared_counters():
+    stats = RuntimeStats()
+    with pytest.raises(AttributeError):
+        stats.not_a_counter = 1
+
+
+def test_fields_have_no_duplicates_and_as_dict_is_complete():
+    assert len(RuntimeStats.FIELDS) == len(set(RuntimeStats.FIELDS))
+    stats = RuntimeStats()
+    assert set(stats.as_dict()) == set(RuntimeStats.FIELDS)
+    assert all(v == 0 for v in stats.as_dict().values())
+
+
+def test_stats_event_map_covers_fields_exactly():
+    assert set(STATS_EVENT_MAP) == set(RuntimeStats.FIELDS)
+    for field, (kind, pairs) in STATS_EVENT_MAP.items():
+        assert kind in EVENT_KINDS, field
+        for key, _want in pairs:
+            assert isinstance(key, str)

@@ -1,0 +1,201 @@
+"""Seeded round-trip fuzzing of whole instruction *streams*.
+
+Complements ``test_roundtrip_property`` (single instructions via
+hypothesis) with deterministic, seed-parametrized streams pushed
+through the IR's adaptive levels: raw bytes → Level 0 bundle →
+split → Level 1/2/3 lifts → encode must reproduce the original bytes
+exactly (the raw-bit copy paths), and a forced Level 4 re-encode from
+operands must also reproduce them (the encoder is deterministic over
+the decoder's canonical operand forms).
+
+Each seed is an independent reproducible case: failures name the seed.
+A fast subset runs in tier-1; the full sweep hides behind ``slow``.
+"""
+
+import random
+
+import pytest
+
+from repro.ir.instrlist import InstrList
+from repro.isa.decoder import decode_boundary
+from repro.isa.encoder import encode_instr
+from repro.isa.opcodes import JCC_CONDITION, Opcode
+from repro.isa.operands import ImmOperand, MemOperand, PcOperand, RegOperand
+from repro.isa.registers import Reg
+
+BASE_PC = 0x1000
+
+_BINARY = (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.CMP)
+_UNARY = (Opcode.INC, Opcode.DEC, Opcode.NEG, Opcode.NOT)
+_SHIFT = (Opcode.SHL, Opcode.SHR, Opcode.SAR)
+_FP = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV)
+_NON_ESP = tuple(r for r in Reg if r != Reg.ESP)
+
+
+def _random_reg(rng):
+    return RegOperand(rng.choice(tuple(Reg)))
+
+
+def _random_imm(rng):
+    value = rng.choice(
+        (
+            rng.randint(-128, 127),
+            rng.randint(-(2**31), 2**31 - 1),
+            0,
+            1,
+            -1,
+        )
+    )
+    return ImmOperand(value, size=4)
+
+
+def _random_mem(rng, size=4):
+    base = rng.choice((None,) + tuple(Reg))
+    index = rng.choice((None,) * 3 + _NON_ESP)
+    # scale without an index is not encodable state; keep it canonical
+    scale = rng.choice((1, 2, 4, 8)) if index is not None else 1
+    disp = rng.choice(
+        (0, rng.randint(-128, 127), rng.randint(-(2**31), 2**31 - 1))
+    )
+    if base is None and index is None:
+        disp = rng.randint(0, 2**31 - 1)  # absolute addressing form
+    return MemOperand(base=base, index=index, scale=scale, disp=disp, size=size)
+
+
+def _random_rm(rng, size=4):
+    if size == 4 and rng.random() < 0.5:
+        return _random_reg(rng)
+    return _random_mem(rng, size)
+
+
+def _random_straightline(rng):
+    """One random non-CTI (opcode, operands) case."""
+    pick = rng.randrange(10)
+    if pick == 0:
+        return rng.choice(_BINARY), (_random_rm(rng), _random_imm(rng))
+    if pick == 1:
+        return rng.choice(_BINARY), (_random_reg(rng), _random_rm(rng))
+    if pick == 2:
+        return rng.choice(_UNARY), (_random_rm(rng),)
+    if pick == 3:
+        return rng.choice(_SHIFT), (
+            _random_rm(rng),
+            ImmOperand(rng.randint(0, 31), size=1),
+        )
+    if pick == 4:
+        return rng.choice(_FP), (_random_reg(rng), _random_rm(rng))
+    if pick == 5:
+        return Opcode.MOV, (
+            rng.choice((_random_rm(rng), _random_mem(rng))),
+            rng.choice((_random_reg(rng), _random_imm(rng))),
+        )
+    if pick == 6:
+        return Opcode.LEA, (_random_reg(rng), _random_mem(rng))
+    if pick == 7:
+        return (
+            rng.choice((Opcode.MOVZX, Opcode.MOVSX)),
+            (_random_reg(rng), _random_mem(rng, size=rng.choice((1, 2)))),
+        )
+    if pick == 8:
+        return Opcode.PUSH, (
+            rng.choice((_random_reg(rng), _random_imm(rng), _random_mem(rng))),
+        )
+    if rng.random() < 0.5:
+        return Opcode.NOP, ()
+    return Opcode.POP, (rng.choice((_random_reg(rng), _random_mem(rng))),)
+
+
+def _random_cti(rng, pc):
+    """One random block-ending control transfer placed at ``pc``."""
+    pick = rng.randrange(4)
+    if pick == 0:
+        opcode = rng.choice((Opcode.JMP, Opcode.CALL))
+        return opcode, (PcOperand(max(0, pc + rng.randint(-120, 120))),)
+    if pick == 1:
+        opcode = rng.choice(tuple(JCC_CONDITION))
+        return opcode, (PcOperand(max(0, pc + rng.randint(-120, 120))),)
+    if pick == 2:
+        return rng.choice((Opcode.JMP_IND, Opcode.CALL_IND)), (
+            _random_rm(rng),
+        )
+    return Opcode.RET, ()
+
+
+def _build_stream(seed):
+    """Returns (body_bytes, full_bytes): a straight-line run and the
+    same run terminated by a random CTI."""
+    rng = random.Random(seed)
+    out = bytearray()
+    pc = BASE_PC
+    for _ in range(rng.randint(3, 12)):
+        opcode, operands = _random_straightline(rng)
+        raw = encode_instr(opcode, operands, pc=pc)
+        out += raw
+        pc += len(raw)
+    body = bytes(out)
+    opcode, operands = _random_cti(rng, pc)
+    out += encode_instr(opcode, operands, pc=pc)
+    return body, bytes(out)
+
+
+def _slices(code, pc):
+    """(offset, length) per instruction via the boundary decoder."""
+    pieces = []
+    off = 0
+    while off < len(code):
+        n = decode_boundary(code, off)
+        pieces.append((off, n))
+        off += n
+    return pieces
+
+
+def _reencoded(il):
+    """Concatenate per-node encodes at the original addresses."""
+    out = bytearray()
+    for node in il:
+        out += node.encode(pc=node.raw_pc)
+    return bytes(out)
+
+
+def _check_stream(seed):
+    body, full = _build_stream(seed)
+
+    # Level 0: the whole straight-line run as one bundle — encoding is
+    # a raw byte copy, before and after splitting into Level-1 nodes.
+    il0 = InstrList.from_code(body, BASE_PC, level=0)
+    assert len(il0) == 1 and il0.first().is_bundle
+    assert il0.first().encode() == body
+    il0.expand_bundles()
+    assert len(il0) == len(_slices(body, BASE_PC))
+    assert _reencoded(il0) == body
+
+    # Levels 1-3: raw bits stay valid through each lift, so encoding at
+    # the original address must reproduce the exact stream (CTI too).
+    for level in (1, 2, 3):
+        il = InstrList.from_code(full, BASE_PC, level=level)
+        assert _reencoded(il) == full
+
+    # Level 4: force re-encode from decoded operands.  set_opcode
+    # invalidates the raw bits (dropping the recorded address with
+    # them), so every byte below is produced by the encoder over the
+    # decoder's canonical operand forms at the captured placement.
+    il4 = InstrList.from_code(full, BASE_PC, level=3)
+    pcs = [node.raw_pc for node in il4]
+    for node in il4:
+        node.set_opcode(node.opcode)
+        assert not node.raw_bits_valid()
+    out = bytearray()
+    for node, pc in zip(il4, pcs):
+        out += node.encode(pc=pc)
+    assert bytes(out) == full
+
+
+@pytest.mark.parametrize("seed", range(16))
+def test_stream_roundtrip_fast(seed):
+    _check_stream(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(16, 512))
+def test_stream_roundtrip_sweep(seed):
+    _check_stream(seed)

@@ -1,0 +1,86 @@
+"""Client-facing drtrace API: dr_register_event_tracer / dr_get_profile."""
+
+from repro.api.client import Client
+from repro.api.dr import dr_get_log, dr_get_profile, dr_register_event_tracer
+from repro.clients.inline_count import InlineInstructionCounter
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.observe import EV_FRAGMENT_EMIT
+
+from tests.conftest import run_under
+
+
+class _TracingClient(Client):
+    """Registers a tracer from ``init`` — before any fragment exists —
+    without the runtime option being set (lazy observer creation)."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def init(self):
+        dr_register_event_tracer(self, self.seen.append)
+
+
+def test_tracer_streams_events_without_option(loop_image):
+    client = _TracingClient()
+    dr, result = run_under(loop_image, client=client)
+    assert dr.observer is not None  # created on demand
+    assert client.seen
+    emits = [e for e in client.seen if e.kind == EV_FRAGMENT_EMIT]
+    assert len(emits) == result.events["bbs_built"] + result.events[
+        "traces_built"
+    ] + result.events["fragments_replaced"]
+    # The lazily created observer also feeds the summary counters.
+    assert result.events["observe_events"] == len(client.seen)
+
+
+def test_register_without_callback_just_enables(loop_image):
+    dr = DynamoRIO(Process(loop_image), options=RuntimeOptions.with_traces())
+    observer = dr_register_event_tracer(dr, None)
+    assert dr.observer is observer
+    assert observer.tracers == []
+    # Registering again reuses the same observer.
+    assert dr_register_event_tracer(dr, None) is observer
+    result = dr.run()
+    assert result.events["observe_events"] == observer.total_emitted
+
+
+def test_profile_empty_when_disabled(loop_image):
+    dr, _ = run_under(loop_image)
+    assert dr.observer is None
+    assert dr_get_profile(dr) == []
+
+
+def test_profile_rows_when_enabled(loop_image):
+    opts = RuntimeOptions.with_traces()
+    opts.trace_events = True
+    dr, result = run_under(loop_image, opts)
+    rows = dr_get_profile(dr)
+    assert rows
+    assert dr_get_profile(dr, top=2) == rows[:2]
+    assert all(
+        set(row) == {"tag", "kind", "entries", "cycles", "share"}
+        for row in rows
+    )
+    assert sum(r["cycles"] for r in rows) <= result.cycles
+
+
+def test_inline_count_reports_hot_fragments(loop_image, loop_native):
+    opts = RuntimeOptions.with_traces()
+    opts.trace_events = True
+    client = InlineInstructionCounter()
+    run_under(loop_image, opts, client=client)
+    log = dr_get_log(client)
+    hot = [line for line in log if line.startswith("hot fragment:")]
+    assert len(hot) == 3  # top=3 in the client's exit hook
+    assert "kind=" in hot[0] and "cycles=" in hot[0]
+    # Instrumentation stays correct with the profiler running.
+    assert client.executed == loop_native.instructions
+
+
+def test_inline_count_silent_without_profiler(loop_image):
+    client = InlineInstructionCounter()
+    run_under(loop_image, client=client)
+    log = dr_get_log(client)
+    assert not any(line.startswith("hot fragment:") for line in log)

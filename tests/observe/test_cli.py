@@ -1,0 +1,63 @@
+"""End-to-end tests of ``python -m repro.tools.trace``."""
+
+import json
+
+import pytest
+
+from repro.tools.trace import main
+
+from tests.conftest import LOOP_SRC
+
+
+@pytest.fixture()
+def loop_source(tmp_path):
+    path = tmp_path / "loop.mc"
+    path.write_text(LOOP_SRC)
+    return str(path)
+
+
+def test_report_only(loop_source, capsys):
+    assert main([loop_source]) == 0
+    out = capsys.readouterr().out
+    assert "drtrace report" in out
+    assert "hot fragments" in out
+    assert "fragment_emit" in out  # event counts section
+    assert "run: " in out and "cycles" in out
+
+
+def test_events_with_filter(loop_source, capsys):
+    assert main([loop_source, "--events", "--filter", "ibl_hit,ibl_miss"]) == 0
+    out = capsys.readouterr().out
+    body = out.split("events (", 1)[1]
+    assert "ibl_" in body
+    assert "fragment_emit" not in body  # filtered out of the dump
+
+
+def test_unknown_filter_kind_errors(loop_source, capsys):
+    with pytest.raises(SystemExit):
+        main([loop_source, "--filter", "no_such_kind"])
+    assert "unknown event kind" in capsys.readouterr().err
+
+
+def test_jsonl_export(loop_source, tmp_path, capsys):
+    out_path = tmp_path / "events.jsonl"
+    assert main([loop_source, "--jsonl", str(out_path), "--buffer", "0"]) == 0
+    stdout = capsys.readouterr().out
+    lines = out_path.read_text().splitlines()
+    assert "wrote %d events" % len(lines) in stdout
+    events = [json.loads(line) for line in lines]
+    # Unbounded buffer: sequence numbers are gapless from 1.
+    assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+    assert any(e["event"] == "fragment_emit" for e in events)
+
+
+def test_client_and_top_flags(loop_source, capsys):
+    assert main([loop_source, "--client", "inscount-inline", "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "hot fragments (top 2" in out
+
+
+def test_requires_a_program(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+    assert "source file or --benchmark" in capsys.readouterr().err

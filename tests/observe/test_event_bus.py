@@ -1,0 +1,123 @@
+"""Observer / event-bus mechanics, independent of the runtime."""
+
+import io
+import json
+
+from repro.observe import (
+    EV_FRAGMENT_EMIT,
+    EV_IBL_HIT,
+    EV_IBL_MISS,
+    EVENT_KINDS,
+    Event,
+    Observer,
+    format_event,
+    format_report,
+    write_jsonl,
+)
+
+
+class TestRingBuffer:
+    def test_bounded_ring_drops_oldest_but_counts_stay_exact(self):
+        obs = Observer(capacity=4)
+        for i in range(10):
+            obs.emit(EV_IBL_HIT, 0x1000 + i)
+        assert obs.total_emitted == 10
+        assert obs.dropped == 6
+        recorded = obs.events()
+        assert len(recorded) == 4
+        # Oldest dropped: the survivors are the last four emitted.
+        assert [e.seq for e in recorded] == [7, 8, 9, 10]
+        # Aggregate counts never drop, even after the ring wraps.
+        assert obs.counts[EV_IBL_HIT] == 10
+
+    def test_unbounded_ring(self):
+        obs = Observer(capacity=None)
+        for i in range(100):
+            obs.emit(EV_IBL_MISS, i)
+        assert obs.dropped == 0
+        assert len(obs.events()) == 100
+
+    def test_kind_filtering(self):
+        obs = Observer()
+        obs.emit(EV_IBL_HIT, 1)
+        obs.emit(EV_IBL_MISS, 2)
+        obs.emit(EV_IBL_HIT, 3)
+        hits = obs.events([EV_IBL_HIT])
+        assert [e.tag for e in hits] == [1, 3]
+
+    def test_payload_may_shadow_kind_and_tag(self):
+        # emit(kind, tag, /) is positional-only: fragment events carry
+        # their own "kind" (bb/trace) in the payload.
+        obs = Observer()
+        obs.emit(EV_FRAGMENT_EMIT, 0x42, kind="bb", tag="shadow")
+        event = obs.events()[0]
+        assert event.kind == EV_FRAGMENT_EMIT
+        assert event.tag == 0x42
+        assert event.data == {"kind": "bb", "tag": "shadow"}
+
+    def test_tracers_see_every_event_in_order(self):
+        obs = Observer(capacity=2)  # ring drops; tracers never do
+        seen = []
+        obs.tracers.append(seen.append)
+        for i in range(5):
+            obs.emit(EV_IBL_HIT, i)
+        assert [e.tag for e in seen] == [0, 1, 2, 3, 4]
+
+    def test_summary_fields_are_flat_ints(self):
+        obs = Observer(capacity=2)
+        for i in range(5):
+            obs.emit(EV_IBL_HIT, i)
+        obs.finalize(0)
+        summary = obs.summary()
+        assert summary["observe_events"] == 5
+        assert summary["observe_events_dropped"] == 3
+        assert summary["observe_event_kinds"] == 1
+        assert all(isinstance(v, int) for v in summary.values())
+
+
+class TestSinks:
+    def test_event_to_dict_and_jsonl_round_trip(self):
+        obs = Observer()
+        obs.emit(EV_IBL_HIT, 0x99, fragment_kind="trace")
+        obs.emit(EV_IBL_MISS, None)
+        buf = io.StringIO()
+        assert write_jsonl(obs.events(), buf) == 2
+        lines = buf.getvalue().splitlines()
+        first = json.loads(lines[0])
+        assert first == {
+            "seq": 1,
+            "event": EV_IBL_HIT,
+            "tag": 0x99,
+            "fragment_kind": "trace",
+        }
+        second = json.loads(lines[1])
+        assert "tag" not in second  # None tags are omitted
+
+    def test_to_dict_keeps_payload_kind_and_event_kind(self):
+        obs = Observer()
+        obs.emit(EV_FRAGMENT_EMIT, 0x42, kind="bb")
+        d = obs.events()[0].to_dict()
+        assert d["event"] == EV_FRAGMENT_EMIT
+        assert d["kind"] == "bb"
+
+    def test_format_event_renders_tag_and_payload(self):
+        line = format_event(Event(3, EV_IBL_HIT, 0x1000, {"a": 1}))
+        assert "#3" in line
+        assert EV_IBL_HIT in line
+        assert "0x1000" in line
+        assert "a=1" in line
+
+    def test_format_report_mentions_counts_and_drops(self):
+        obs = Observer(capacity=2)
+        for i in range(3):
+            obs.emit(EV_IBL_HIT, i)
+        obs.finalize(0)
+        report = format_report(obs, top=5, total_cycles=0)
+        assert "drtrace report" in report
+        assert EV_IBL_HIT in report
+        assert "1 dropped" in report
+
+
+def test_event_kinds_unique_and_lowercase():
+    assert len(EVENT_KINDS) == len(set(EVENT_KINDS))
+    assert all(k == k.lower() for k in EVENT_KINDS)
