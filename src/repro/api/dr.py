@@ -147,6 +147,11 @@ def dr_register_event_tracer(client_or_context, fn):
         observer = Observer(runtime.options.trace_buffer)
         runtime.observer = observer
     if fn is not None:
+        guard = getattr(runtime, "guard", None)
+        if guard is not None:
+            # drguard: a faulting tracer detaches instead of unwinding
+            # the emit site it was called from.
+            fn = guard.wrap_tracer(fn)
         observer.tracers.append(fn)
     return observer
 

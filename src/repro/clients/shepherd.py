@@ -22,10 +22,15 @@ shepherding paper reports.
 from repro.api.client import Client
 from repro.api.dr import dr_printf, dr_set_ind_branch_checker
 from repro.isa.operands import PcOperand
+from repro.resilience.guard import ClientHalt
 
 
-class SecurityViolation(Exception):
-    """An indirect control transfer violated the shepherding policy."""
+class SecurityViolation(ClientHalt):
+    """An indirect control transfer violated the shepherding policy.
+
+    A :class:`~repro.resilience.guard.ClientHalt`: stopping the program
+    is this client's *purpose*, so the fault guard must let it
+    propagate rather than treat it as a client bug."""
 
     def __init__(self, kind, target):
         super().__init__(

@@ -81,6 +81,27 @@ def build_basic_block(memory, tag, max_instrs=256):
     return ilist
 
 
+def block_source_span(ilist, tag):
+    """The application-code byte range ``(tag, end)`` a built block was
+    decoded from, for the cache-consistency region map.
+
+    Scans for the highest raw-byte extent among instructions that still
+    carry their original bytes (the Level-0 bundle and the decoded exit
+    CTI); synthetic instructions (no raw bits) contribute nothing.  A
+    block whose instructions have all been replaced falls back to a
+    one-byte span at ``tag`` so the head address itself stays monitored.
+    """
+    end = tag
+    for instr in ilist:
+        if instr.raw_bits_valid() and instr.raw_pc is not None:
+            extent = instr.raw_pc + len(instr.raw)
+            if extent > end:
+                end = extent
+    if end == tag:
+        end = tag + 1
+    return (tag, end)
+
+
 def block_instr_count(ilist):
     """Number of application instructions in a built block (synthetic
     fall-through jumps excluded)."""

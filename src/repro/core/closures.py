@@ -258,7 +258,16 @@ def compile_fragment(fragment, runtime):
                         observer.emit(
                             EV_CLEAN_CALL, _tag, role="checker", target=target
                         )
-                    _checker(ex.runtime.current_thread, target)
+                    guard = ex.runtime.guard
+                    if guard is None:
+                        _checker(ex.runtime.current_thread, target)
+                    else:
+                        guard.call(
+                            _checker,
+                            (ex.runtime.current_thread, target),
+                            tag=_tag,
+                            role="checker",
+                        )
                 if _is_call:
                     regs = cpu.regs
                     regs[4] = (regs[4] - 4) & _MASK32
@@ -272,7 +281,16 @@ def compile_fragment(fragment, runtime):
                         observer.emit(
                             EV_CLEAN_CALL, _tag, role="profiler", target=target
                         )
-                    _profiler(ex.runtime.current_thread, target)
+                    guard = ex.runtime.guard
+                    if guard is None:
+                        _profiler(ex.runtime.current_thread, target)
+                    else:
+                        guard.call(
+                            _profiler,
+                            (ex.runtime.current_thread, target),
+                            tag=_tag,
+                            role="profiler",
+                        )
                 ex._next_fragment = ex._indirect_exit(
                     _stub, target, cpu, mem, system
                 )
@@ -326,7 +344,16 @@ def compile_fragment(fragment, runtime):
                         observer.emit(
                             EV_CLEAN_CALL, _tag, role="checker", target=target
                         )
-                    _checker(ex.runtime.current_thread, target)
+                    guard = ex.runtime.guard
+                    if guard is None:
+                        _checker(ex.runtime.current_thread, target)
+                    else:
+                        guard.call(
+                            _checker,
+                            (ex.runtime.current_thread, target),
+                            tag=_tag,
+                            role="checker",
+                        )
                 if _is_call:
                     regs = cpu.regs
                     regs[4] = (regs[4] - 4) & _MASK32
@@ -362,7 +389,16 @@ def compile_fragment(fragment, runtime):
                         observer.emit(
                             EV_CLEAN_CALL, _tag, role="profiler", target=target
                         )
-                    _profiler(ex.runtime.current_thread, target)
+                    guard = ex.runtime.guard
+                    if guard is None:
+                        _profiler(ex.runtime.current_thread, target)
+                    else:
+                        guard.call(
+                            _profiler,
+                            (ex.runtime.current_thread, target),
+                            tag=_tag,
+                            role="profiler",
+                        )
                 counter.cycles += taken_penalty
                 ex._next_fragment = ex._indirect_exit(
                     _ibl_stub, target, cpu, mem, system
@@ -407,7 +443,16 @@ def compile_fragment(fragment, runtime):
                 observer = ex.runtime.observer
                 if observer is not None:
                     observer.emit(EV_CLEAN_CALL, _tag, role="call")
-                _fn(ex.runtime.current_thread)
+                guard = ex.runtime.guard
+                if guard is None:
+                    _fn(ex.runtime.current_thread)
+                else:
+                    guard.call(
+                        _fn,
+                        (ex.runtime.current_thread,),
+                        tag=_tag,
+                        role="clean_call",
+                    )
                 return _nxt
 
             steps.append(clean_call_step)

@@ -8,9 +8,16 @@ limit is configured and reached, the whole unit is flushed (the
 coarse-grained strategy the paper describes for DELI, and DynamoRIO's
 own fallback), with a callback so the runtime can delete fragment
 bookkeeping.
+
+:class:`CodeRegionMap` is the cache-consistency side table (paper
+Section 6.2): it maps application-code byte ranges back to the
+fragments translated from them, so a store into translated code can
+invalidate exactly the stale fragments (including traces that stitched
+the written block).
 """
 
 from repro.machine.errors import MachineFault
+from repro.machine.memory import WATCH_SHIFT
 
 
 class CacheFullError(Exception):
@@ -71,3 +78,74 @@ class CacheUnit:
 
     def __len__(self):
         return len(self.fragments)
+
+
+class CodeRegionMap:
+    """Application-code range -> translated fragments (cache consistency).
+
+    Line-indexed (same granularity as the memory write watch): each
+    registered fragment appears in the bucket of every line its source
+    spans touch.  ``overlapping`` filters the bucket hits down to exact
+    byte-range overlaps, so a store next to — but not into — translated
+    code invalidates nothing.
+
+    Entries carry the owning thread because caches are (by default)
+    thread-private: the same application block may be translated once
+    per thread, and an SMC store must invalidate every copy.
+    """
+
+    def __init__(self):
+        self._by_page = {}  # line -> list of entries
+        self._entries = {}  # id(fragment) -> (fragment, spans, thread)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def register(self, fragment, spans, thread, memory):
+        """Track ``fragment`` as translated from ``spans`` and arm the
+        memory write watch over those ranges."""
+        spans = tuple(
+            (int(start), int(end)) for start, end in spans if end > start
+        )
+        if not spans:
+            return
+        key = id(fragment)
+        if key in self._entries:
+            self.unregister(fragment)
+        entry = (fragment, spans, thread)
+        self._entries[key] = entry
+        by_page = self._by_page
+        for start, end in spans:
+            memory.watch_range(start, end)
+            for page in range(start >> WATCH_SHIFT, ((end - 1) >> WATCH_SHIFT) + 1):
+                by_page.setdefault(page, []).append(entry)
+
+    def unregister(self, fragment):
+        entry = self._entries.pop(id(fragment), None)
+        if entry is None:
+            return
+        by_page = self._by_page
+        for start, end in entry[1]:
+            for page in range(start >> WATCH_SHIFT, ((end - 1) >> WATCH_SHIFT) + 1):
+                bucket = by_page.get(page)
+                if bucket is None:
+                    continue
+                bucket[:] = [e for e in bucket if e is not entry]
+                if not bucket:
+                    del by_page[page]
+
+    def overlapping(self, addr, size):
+        """Entries whose source spans intersect ``[addr, addr+size)``,
+        as ``(fragment, thread)`` pairs in registration order."""
+        end = addr + size
+        hits = []
+        seen = set()
+        for page in range(addr >> WATCH_SHIFT, ((end - 1) >> WATCH_SHIFT) + 1):
+            for entry in self._by_page.get(page, ()):
+                key = id(entry[0])
+                if key in seen:
+                    continue
+                if any(s < end and addr < e for s, e in entry[1]):
+                    seen.add(key)
+                    hits.append((entry[0], entry[2]))
+        return hits

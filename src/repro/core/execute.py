@@ -85,7 +85,15 @@ class Executor:
         for op in stub_ops:
             if op[0] == OP_CLEAN_CALL:
                 counter.cycles += op[2]
-                op[1](self.runtime.current_thread)
+                guard = self.runtime.guard
+                if guard is None:
+                    op[1](self.runtime.current_thread)
+                else:
+                    guard.call(
+                        op[1],
+                        (self.runtime.current_thread,),
+                        role="stub_call",
+                    )
             else:
                 counter.cycles += op[3]
                 execute_noncti(cpu, mem, system, op[1], op[2])
@@ -222,6 +230,7 @@ class Executor:
         fragment or raises CacheExit."""
         runtime = self.runtime
         observer = runtime.observer
+        guard = runtime.guard
         taken_penalty = runtime.cost.taken_branch_penalty
         regs = cpu.regs
         code = fragment.code
@@ -301,7 +310,13 @@ class Executor:
                             EV_CLEAN_CALL, fragment.tag,
                             role="checker", target=target,
                         )
-                    checker(thread, target)
+                    if guard is None:
+                        checker(thread, target)
+                    else:
+                        guard.call(
+                            checker, (thread, target),
+                            tag=fragment.tag, role="checker",
+                        )
                 if is_call:
                     regs[4] = (regs[4] - 4) & _MASK32
                     mem.write_u32(regs[4], ret_addr)
@@ -314,7 +329,13 @@ class Executor:
                             EV_CLEAN_CALL, fragment.tag,
                             role="profiler", target=target,
                         )
-                    profiler(thread, target)
+                    if guard is None:
+                        profiler(thread, target)
+                    else:
+                        guard.call(
+                            profiler, (thread, target),
+                            tag=fragment.tag, role="profiler",
+                        )
                 next_fragment = self._indirect_exit(
                     exits[exit_idx], target, cpu, mem, system
                 )
@@ -349,7 +370,13 @@ class Executor:
                             EV_CLEAN_CALL, fragment.tag,
                             role="checker", target=target,
                         )
-                    checker(thread, target)
+                    if guard is None:
+                        checker(thread, target)
+                    else:
+                        guard.call(
+                            checker, (thread, target),
+                            tag=fragment.tag, role="checker",
+                        )
                 if is_call:
                     regs[4] = (regs[4] - 4) & _MASK32
                     mem.write_u32(regs[4], ret_addr)
@@ -387,7 +414,13 @@ class Executor:
                             EV_CLEAN_CALL, fragment.tag,
                             role="profiler", target=target,
                         )
-                    profiler(thread, target)
+                    if guard is None:
+                        profiler(thread, target)
+                    else:
+                        guard.call(
+                            profiler, (thread, target),
+                            tag=fragment.tag, role="profiler",
+                        )
                 counter.cycles += taken_penalty
                 next_fragment = self._indirect_exit(
                     exits[ibl_idx], target, cpu, mem, system
@@ -408,7 +441,12 @@ class Executor:
                 runtime.stats.clean_calls += 1
                 if observer is not None:
                     observer.emit(EV_CLEAN_CALL, fragment.tag, role="call")
-                op[1](thread)
+                if guard is None:
+                    op[1](thread)
+                else:
+                    guard.call(
+                        op[1], (thread,), tag=fragment.tag, role="clean_call"
+                    )
                 i += 1
                 continue
             raise MachineFault("unknown fragment op kind %r" % (kind,))

@@ -66,6 +66,7 @@ class Fragment:
         "deleted",
         "generation",
         "compiled",
+        "source_spans",
     )
 
     KIND_BB = "bb"
@@ -91,6 +92,11 @@ class Fragment:
         # Closure-compiled step table (repro.core.closures); built when
         # the fragment is emitted under a runtime, lazily otherwise.
         self.compiled = None
+        # Application-code byte ranges this fragment was translated
+        # from: tuple of (start, end) pairs.  Registered with the
+        # cache-consistency region map when options.cache_consistency is
+        # on; traces carry the union of their constituent blocks' spans.
+        self.source_spans = ()
 
     @property
     def is_trace(self):

@@ -24,6 +24,10 @@ class RuntimeOptions:
         closure_engine=True,
         trace_events=False,
         trace_buffer=65536,
+        guard_clients=False,
+        client_fault_limit=3,
+        client_hook_budget=None,
+        cache_consistency=False,
     ):
         # Table 1 mechanisms, cumulative.
         self.bb_cache = bb_cache
@@ -59,6 +63,29 @@ class RuntimeOptions:
         # Ring-buffer capacity for recorded event detail (aggregate
         # per-kind counts are always exact); None = unbounded.
         self.trace_buffer = trace_buffer
+        # Resilience (repro.resilience, "drguard").  guard_clients wraps
+        # every client hook site in a fault guard: an exception (other
+        # than a deliberate ClientHalt) discards the client's transform,
+        # re-emits the fragment verbatim, and after client_fault_limit
+        # faults quarantines the client entirely (hooks disabled, run
+        # continues at native fidelity).  Off by default: runtime.guard
+        # is None and every hook site pays one pointer check; the guard
+        # itself charges no simulated cycles, so results are identical
+        # with guarding on or off for a well-behaved client.
+        self.guard_clients = guard_clients
+        self.client_fault_limit = client_fault_limit
+        # Optional deterministic hook budget: maximum number of Python
+        # trace events (lines executed, calls, returns) a single client
+        # hook may consume before it is treated as faulting.  None (the
+        # default) disables budget enforcement; the chaos harness sets
+        # it to contain runaway hooks.  Deterministic across engines
+        # because hooks run at fragment-build time, not per-instruction.
+        self.client_hook_budget = client_hook_budget
+        # Cache consistency: monitor stores into already-translated
+        # application code (self-modifying code), invalidate and unlink
+        # the stale fragments — including traces that stitched them —
+        # and rebuild on next dispatch.  Off by default (zero cost).
+        self.cache_consistency = cache_consistency
 
     def copy(self):
         new = RuntimeOptions()

@@ -14,8 +14,12 @@ the client's trace hook) that shadows its head.
 
 from collections import namedtuple
 
-from repro.core.bb_builder import block_instr_count, build_basic_block
-from repro.core.code_cache import CacheFullError
+from repro.core.bb_builder import (
+    block_instr_count,
+    block_source_span,
+    build_basic_block,
+)
+from repro.core.code_cache import CacheFullError, CodeRegionMap
 from repro.core.emit import emit_fragment
 from repro.core.execute import EXIT_DISPATCH, EXIT_IBL_MISS, Executor
 from repro.core.fragments import Fragment, LinkStub
@@ -42,11 +46,13 @@ from repro.observe.events import (
     EV_FRAGMENT_REPLACE,
     EV_FRAGMENT_UNLINK,
     EV_SIGNAL_DELIVERED,
+    EV_SMC_INVALIDATE,
     EV_THREAD_SPAWN,
     EV_TRACE_HEAD_COUNT,
     EV_TRACE_HEAD_PROMOTED,
     Observer,
 )
+from repro.resilience.guard import ClientGuard
 
 
 class DynamoRIO:
@@ -76,6 +82,20 @@ class DynamoRIO:
         self.threads = []
         self.current_thread = self._new_thread(lay)
         self.executor = Executor(self)
+        # drguard: None unless guarding is enabled — every hook site
+        # checks the pointer once, exactly like the observer.
+        self.guard = (
+            ClientGuard(self)
+            if (self.options.guard_clients and client is not None)
+            else None
+        )
+        # Cache consistency: app-code range -> fragment side table plus
+        # a memory write watch; stores into translated code invalidate
+        # the stale fragments (Section 6.2).  None when disabled.
+        self.region_map = None
+        if self.options.cache_consistency:
+            self.region_map = CodeRegionMap()
+            self.memory.add_write_watcher(self._on_app_code_write)
         # Tags the client marked as trace heads before fragments exist.
         self.pending_trace_heads = set()
         self._client_initialized = False
@@ -140,21 +160,48 @@ class DynamoRIO:
         if not self.options.thread_private and len(self.threads) > 1:
             self.counter.charge(self.cost.shared_cache_sync, "cache_sync")
         observer = self.observer
-        if self.client is not None:
+        guard = self.guard
+        span = (
+            block_source_span(ilist, tag)
+            if self.region_map is not None
+            else None
+        )
+        hooks_on = self.client is not None and (
+            guard is None or not guard.quarantined
+        )
+        if hooks_on:
             self.stats.client_bb_hooks += 1
             if observer is not None:
                 observer.emit(EV_CLIENT_HOOK, tag, phase="bb", instrs=count)
             self.counter.cycles += self.cost.client_bb_hook_per_instr * count
-            self.client.basic_block(thread, tag, ilist)
-        fragment = emit_fragment(
-            tag, Fragment.KIND_BB, ilist, self.cost, self.options, self.stats,
-            runtime=self,
-        )
+
+        def _emit(il):
+            return emit_fragment(
+                tag, Fragment.KIND_BB, il, self.cost, self.options,
+                self.stats, runtime=self,
+            )
+
+        if hooks_on and guard is not None:
+            client = self.client
+            fragment = guard.build_hook(
+                "bb",
+                tag,
+                ilist,
+                hook=lambda il: client.basic_block(thread, tag, il),
+                emit=_emit,
+            )
+        else:
+            if hooks_on:
+                self.client.basic_block(thread, tag, ilist)
+            fragment = _emit(ilist)
         if tag in self.pending_trace_heads:
             fragment.is_trace_head = True
             if observer is not None:
                 observer.emit(EV_TRACE_HEAD_PROMOTED, tag, reason="client")
         self._place(thread.bb_cache, fragment)
+        if self.region_map is not None:
+            fragment.source_spans = (span,)
+            self.region_map.register(fragment, (span,), thread, self.memory)
         self.stats.bbs_built += 1
         # Trace heads are kept out of the IBL so every entry is counted.
         if not fragment.is_trace_head:
@@ -179,16 +226,31 @@ class DynamoRIO:
                 )
             self._flush_cache(cache)
             self.stats.cache_evictions += 1
+            # The flush may have deleted blocks referenced by an
+            # in-progress trace recording; finalizing such a recording
+            # would stitch deleted fragments — and, once unregistered
+            # from the region map, a later store into their source
+            # ranges could no longer squash the recording, so the trace
+            # would stitch stale code.  Abandon it (the head re-counts
+            # and the trace rebuilds from live blocks).
+            for thread in self.threads:
+                recording = thread.trace_in_progress
+                if recording is not None and any(
+                    entry.deleted for entry in recording.entries
+                ):
+                    thread.trace_in_progress = None
             cache.allocate(fragment)
 
-    def _flush_cache(self, cache):
-        thread = self.current_thread
+    def _flush_cache(self, cache, thread=None):
         for fragment in cache.flush():
-            self._delete_fragment(fragment, from_cache=False)
+            self._delete_fragment(fragment, from_cache=False, thread=thread)
 
-    def _delete_fragment(self, fragment, from_cache=True):
-        thread = self.current_thread
+    def _delete_fragment(self, fragment, from_cache=True, thread=None):
+        if thread is None:
+            thread = self.current_thread
         fragment.deleted = True
+        if self.region_map is not None:
+            self.region_map.unregister(fragment)
         thread.ibl.remove(fragment)
         if from_cache:
             cache = thread.trace_cache if fragment.is_trace else thread.bb_cache
@@ -224,7 +286,62 @@ class DynamoRIO:
                 size=fragment.size,
             )
         if self.client is not None:
-            self.client.fragment_deleted(thread, fragment.tag)
+            guard = self.guard
+            if guard is None:
+                self.client.fragment_deleted(thread, fragment.tag)
+            else:
+                guard.call(
+                    self.client.fragment_deleted,
+                    (thread, fragment.tag),
+                    tag=fragment.tag,
+                    role="fragment_deleted",
+                )
+
+    # ------------------------------------------------------ cache consistency
+
+    def _on_app_code_write(self, addr, size):
+        """Memory write watcher: a store hit a watched app-code line.
+
+        Exact overlap with translated code invalidates the stale
+        fragments — bbs and any traces that stitched them — and
+        abandons recordings that reference them; the blocks rebuild
+        from the new bytes on next dispatch (Section 6.2).
+        """
+        hits = self.region_map.overlapping(addr, size)
+        if not hits:
+            return
+        self.counter.cycles += self.cost.smc_invalidate
+        self.stats.smc_invalidations += 1
+        if self.observer is not None:
+            self.observer.emit(
+                EV_SMC_INVALIDATE, addr, size=size, fragments=len(hits)
+            )
+        for fragment, thread in hits:
+            if not fragment.deleted:
+                self._delete_fragment(fragment, thread=thread)
+        for thread in self.threads:
+            recording = thread.trace_in_progress
+            if recording is not None and any(
+                entry.deleted for entry in recording.entries
+            ):
+                thread.trace_in_progress = None
+
+    # ------------------------------------------------------------- quarantine
+
+    def _bailout_client(self):
+        """OSR-style bailout when the guard quarantines the client:
+        drop every fragment (all carry client instrumentation) and all
+        client-visible in-progress state; blocks rebuild uninstrumented
+        on next dispatch and the run continues at native fidelity."""
+        self.pending_trace_heads.clear()
+        seen = set()
+        for thread in self.threads:
+            thread.trace_in_progress = None
+            for cache in (thread.bb_cache, thread.trace_cache):
+                if id(cache) in seen:
+                    continue
+                seen.add(id(cache))
+                self._flush_cache(cache, thread=thread)
 
     # --------------------------------------------------------------- linking
 
@@ -343,7 +460,11 @@ class DynamoRIO:
             self.counter.cycles += build_cycles
         if not self.options.thread_private and len(self.threads) > 1:
             self.counter.charge(self.cost.shared_cache_sync, "cache_sync")
-        if self.client is not None:
+        guard = self.guard
+        hooks_on = self.client is not None and (
+            guard is None or not guard.quarantined
+        )
+        if hooks_on:
             self.stats.client_trace_hooks += 1
             if self.observer is not None:
                 self.observer.emit(
@@ -357,17 +478,41 @@ class DynamoRIO:
                 )
             else:
                 self.counter.cycles += hook_cycles
-            self.client.trace(thread, recording.head_tag, ilist)
-        fragment = emit_fragment(
-            recording.head_tag,
-            Fragment.KIND_TRACE,
-            ilist,
-            self.cost,
-            self.options,
-            self.stats,
-            runtime=self,
-        )
+
+        def _emit(il):
+            return emit_fragment(
+                recording.head_tag,
+                Fragment.KIND_TRACE,
+                il,
+                self.cost,
+                self.options,
+                self.stats,
+                runtime=self,
+            )
+
+        if hooks_on and guard is not None:
+            client = self.client
+            fragment = guard.build_hook(
+                "trace",
+                recording.head_tag,
+                ilist,
+                hook=lambda il: client.trace(thread, recording.head_tag, il),
+                emit=_emit,
+            )
+        else:
+            if hooks_on:
+                self.client.trace(thread, recording.head_tag, ilist)
+            fragment = _emit(ilist)
         self._place(thread.trace_cache, fragment)
+        if self.region_map is not None:
+            # A trace is stale if any block it stitched is written.
+            spans = []
+            for entry in recording.entries:
+                spans.extend(entry.source_spans)
+            fragment.source_spans = tuple(spans)
+            self.region_map.register(
+                fragment, fragment.source_spans, thread, self.memory
+            )
         thread.ibl.insert(fragment)
         self.stats.traces_built += 1
         # Shadow the head bb: redirect its incoming links to the trace.
@@ -384,6 +529,11 @@ class DynamoRIO:
     def _client_end_trace(self, recording, next_tag):
         if self.client is None:
             return DEFAULT_TRACE_END
+        guard = self.guard
+        if guard is not None:
+            return guard.end_trace(
+                self.client, self.current_thread, recording.head_tag, next_tag
+            )
         return self.client.end_trace(
             self.current_thread, recording.head_tag, next_tag
         )
@@ -580,17 +730,24 @@ class DynamoRIO:
         application stack — never a code-cache address (transparency);
         the handler address becomes the next dispatch target.
         """
+        # A signal arriving mid-trace-build abandons the recording:
+        # stitching across an asynchronous redirect would bake the
+        # handler's blocks into the trace as if they were its
+        # fall-through path.  The head stays hot and re-records after
+        # the handler returns.
+        squashed_trace = thread.trace_in_progress is not None
+        if squashed_trace:
+            thread.trace_in_progress = None
         cpu = thread.cpu
         push_signal_frame(cpu, self.memory, interrupted_tag)
         self.system.clear_alarm()
         self.system.signals_delivered += 1
         self.counter.charge(self.cost.signal_delivery, "signals_delivered")
         if self.observer is not None:
-            self.observer.emit(
-                EV_SIGNAL_DELIVERED,
-                interrupted_tag,
-                handler=self.system.signal_handler,
-            )
+            data = {"handler": self.system.signal_handler}
+            if squashed_trace:
+                data["trace_squashed"] = True
+            self.observer.emit(EV_SIGNAL_DELIVERED, interrupted_tag, **data)
         return self.system.signal_handler
 
     def _events(self):
@@ -663,6 +820,13 @@ class DynamoRIO:
                 stub.linked_to = None
                 unlinked += 1
         old.deleted = True
+        if self.region_map is not None:
+            # The replacement covers the same application code.
+            new.source_spans = old.source_spans
+            self.region_map.unregister(old)
+            self.region_map.register(
+                new, new.source_spans, thread, self.memory
+            )
         self.stats.fragments_replaced += 1
         observer = self.observer
         if observer is not None:

@@ -29,6 +29,10 @@ class RuntimeStats:
         "client_bb_hooks",
         "client_trace_hooks",
         "cache_evictions",
+        "client_faults",
+        "client_quarantines",
+        "fragment_bailouts",
+        "smc_invalidations",
     )
 
     __slots__ = FIELDS

@@ -94,6 +94,9 @@ class CostModel:
         self.link_cost = 40
         self.ibl_lookup = 25
         self.fragment_entry = 2
+        # Cache consistency: invalidating the fragments translated from
+        # a written code region (unlink + delete bookkeeping).
+        self.smc_invalidate = 120
         # Calibrated so pure emulation lands at the paper's "slowdown
         # factor of several hundred" on crafty/vpr (Table 1 row 1).
         self.emulate_per_instr = 800

@@ -8,8 +8,12 @@ dispatch overhead — the several-hundred-fold slowdown of the paper's
 Table 1 baseline.
 
 The executor decodes each instruction once and memoizes the decode by
-address (invalidated never: application code is immutable under this
-substrate).  Decoding is a *translation* step in the paper's sense:
+address.  Memoized decodes are invalidated on writes into decoded code
+(self-modifying code): each decode registers a write watch on its byte
+range, and a store that lands there evicts every decode on the touched
+lines so the next execution re-decodes the new bytes — keeping native
+runs a correct reference even for SMC workloads.  Decoding is a
+*translation* step in the paper's sense:
 besides the operand list, it binds a specialized execution closure
 (:func:`repro.machine.exec_ops.compile_noncti`), the pre-summed cycle
 cost, the fall-through pc, and — for conditional branches — a compiled
@@ -30,6 +34,7 @@ from repro.machine.cost import CostModel, CycleCounter
 from repro.machine.cpu import CPU, compile_condition
 from repro.machine.errors import MachineFault, ProgramExit
 from repro.machine.exec_ops import compile_noncti, execute_noncti, read_operand
+from repro.machine.memory import WATCH_SHIFT
 from repro.machine.predictors import BranchTargetBuffer, ReturnAddressStack
 from repro.machine.system import (
     System,
@@ -115,8 +120,14 @@ class Interpreter:
         self.btb = BranchTargetBuffer()
         self.ras = ReturnAddressStack(self.cost.ras_depth)
         self._decode_cache = {}
-        # Hoisted out of the per-decode path: application code is
-        # immutable, so one view of the backing bytes suffices.
+        # SMC support: line number -> set of decoded pcs whose bytes
+        # touch that line.  Populated lazily by _decode; a watched write
+        # evicts the affected decodes (coarse, at line granularity —
+        # safe because eviction only forces a re-decode).
+        self._decode_pages = {}
+        self._watch_installed = False
+        # One view of the backing bytes suffices; SMC writes mutate the
+        # same bytearray in place, so the view stays current.
         self._code_view = process.memory.view()
         self._instructions = 0
         self._threads = []
@@ -166,7 +177,24 @@ class Interpreter:
             next_pc, cond,
         )
         self._decode_cache[pc] = decoded
+        if not self._watch_installed:
+            self._watch_installed = True
+            self.process.memory.add_write_watcher(self._on_code_write)
+        self.process.memory.watch_range(pc, pc + d.length)
+        pages = self._decode_pages
+        for page in range(pc >> WATCH_SHIFT, ((pc + d.length - 1) >> WATCH_SHIFT) + 1):
+            pages.setdefault(page, set()).add(pc)
         return decoded
+
+    def _on_code_write(self, addr, size):
+        """Evict memoized decodes whose lines a store touched (SMC)."""
+        cache = self._decode_cache
+        pages = self._decode_pages
+        for page in range(addr >> WATCH_SHIFT, ((addr + size - 1) >> WATCH_SHIFT) + 1):
+            pcs = pages.pop(page, None)
+            if pcs:
+                for pc in pcs:
+                    cache.pop(pc, None)
 
     def _spawn(self, entry, stack_pointer):
         thread = _NativeThread(CPU(), ReturnAddressStack(self.cost.ras_depth))

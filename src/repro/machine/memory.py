@@ -13,6 +13,10 @@ from repro.machine.errors import MachineFault
 
 _MASK32 = 0xFFFFFFFF
 
+# Write-watch granularity: watched address ranges are rounded out to
+# 64-byte lines, so the per-write fast path is one set-membership test.
+WATCH_SHIFT = 6
+
 
 class Region:
     """A named address range ``[start, start+size)``."""
@@ -52,6 +56,11 @@ class Memory:
         self._bytes = bytearray(size)
         self._regions = {}
         self._protect = False
+        # Write monitoring (cache consistency / SMC detection).  When no
+        # ranges are watched ``_watch_pages is None`` and every write
+        # path pays a single attribute test, mirroring ``_protect``.
+        self._watch_pages = None
+        self._watchers = ()
 
     # -------------------------------------------------------------- regions
 
@@ -94,6 +103,30 @@ class Memory:
                 % (size, region.name, addr)
             )
 
+    # --------------------------------------------------------- write watching
+
+    def add_write_watcher(self, fn):
+        """Register ``fn(addr, size)`` to run on writes into watched ranges.
+
+        Watchers only fire for addresses covered by :meth:`watch_range`;
+        they must not write to memory themselves.
+        """
+        self._watchers = self._watchers + (fn,)
+        if self._watch_pages is None:
+            self._watch_pages = set()
+
+    def watch_range(self, start, end):
+        """Watch writes touching ``[start, end)`` (rounded out to lines)."""
+        if self._watch_pages is None:
+            self._watch_pages = set()
+        self._watch_pages.update(
+            range(start >> WATCH_SHIFT, ((end - 1) >> WATCH_SHIFT) + 1)
+        )
+
+    def _notify_write(self, addr, size):
+        for fn in self._watchers:
+            fn(addr, size)
+
     # ------------------------------------------------------------- accessors
 
     def read_u8(self, addr):
@@ -121,6 +154,9 @@ class Memory:
         if self._protect:
             self._check_write(addr, 1)
         self._bytes[addr] = value & 0xFF
+        pages = self._watch_pages
+        if pages is not None and (addr >> WATCH_SHIFT) in pages:
+            self._notify_write(addr, 1)
 
     def write_u32(self, addr, value):
         addr &= _MASK32
@@ -129,6 +165,12 @@ class Memory:
         if self._protect:
             self._check_write(addr, 4)
         self._bytes[addr : addr + 4] = (value & _MASK32).to_bytes(4, "little")
+        pages = self._watch_pages
+        if pages is not None and (
+            (addr >> WATCH_SHIFT) in pages
+            or ((addr + 3) >> WATCH_SHIFT) in pages
+        ):
+            self._notify_write(addr, 4)
 
     def read_bytes(self, addr, n):
         addr &= _MASK32
@@ -143,6 +185,12 @@ class Memory:
         if self._protect:
             self._check_write(addr, len(data))
         self._bytes[addr : addr + len(data)] = data
+        pages = self._watch_pages
+        if pages is not None and len(data):
+            first = addr >> WATCH_SHIFT
+            last = (addr + len(data) - 1) >> WATCH_SHIFT
+            if any(p in pages for p in range(first, last + 1)):
+                self._notify_write(addr, len(data))
 
     def view(self):
         """The raw backing bytearray (for the decoder's fast paths)."""

@@ -19,9 +19,12 @@ from repro.observe.events import (
     EVENT_KINDS,
     EV_CACHE_EVICTION,
     EV_CLEAN_CALL,
+    EV_CLIENT_FAULT,
     EV_CLIENT_HOOK,
+    EV_CLIENT_QUARANTINED,
     EV_CONTEXT_SWITCH,
     EV_DISPATCH_CHECK_HIT,
+    EV_FRAGMENT_BAILOUT,
     EV_FRAGMENT_DELETE,
     EV_FRAGMENT_EMIT,
     EV_FRAGMENT_LINK,
@@ -31,6 +34,7 @@ from repro.observe.events import (
     EV_IBL_MISS,
     EV_INLINE_CHECK_HIT,
     EV_SIGNAL_DELIVERED,
+    EV_SMC_INVALIDATE,
     EV_THREAD_SPAWN,
     EV_TRACE_HEAD_COUNT,
     EV_TRACE_HEAD_PROMOTED,
@@ -41,15 +45,23 @@ from repro.observe.events import (
     replay_stats,
 )
 from repro.observe.profiler import OVERHEAD_KEY, FragmentProfiler
-from repro.observe.sinks import format_event, format_report, write_jsonl
+from repro.observe.sinks import (
+    JsonlSink,
+    format_event,
+    format_report,
+    write_jsonl,
+)
 
 __all__ = [
     "EVENT_KINDS",
     "EV_CACHE_EVICTION",
     "EV_CLEAN_CALL",
+    "EV_CLIENT_FAULT",
     "EV_CLIENT_HOOK",
+    "EV_CLIENT_QUARANTINED",
     "EV_CONTEXT_SWITCH",
     "EV_DISPATCH_CHECK_HIT",
+    "EV_FRAGMENT_BAILOUT",
     "EV_FRAGMENT_DELETE",
     "EV_FRAGMENT_EMIT",
     "EV_FRAGMENT_LINK",
@@ -59,12 +71,14 @@ __all__ = [
     "EV_IBL_MISS",
     "EV_INLINE_CHECK_HIT",
     "EV_SIGNAL_DELIVERED",
+    "EV_SMC_INVALIDATE",
     "EV_THREAD_SPAWN",
     "EV_TRACE_HEAD_COUNT",
     "EV_TRACE_HEAD_PROMOTED",
     "EV_TRACE_STITCH",
     "Event",
     "FragmentProfiler",
+    "JsonlSink",
     "Observer",
     "OVERHEAD_KEY",
     "STATS_EVENT_MAP",

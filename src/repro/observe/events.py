@@ -40,6 +40,11 @@ EV_CLEAN_CALL = "clean_call"
 EV_CLIENT_HOOK = "client_hook"
 EV_SIGNAL_DELIVERED = "signal_delivered"
 EV_THREAD_SPAWN = "thread_spawn"
+# Resilience ("drguard") events.
+EV_CLIENT_FAULT = "client_fault"
+EV_CLIENT_QUARANTINED = "client_quarantined"
+EV_FRAGMENT_BAILOUT = "fragment_bailout"
+EV_SMC_INVALIDATE = "smc_invalidate"
 
 EVENT_KINDS = (
     EV_FRAGMENT_EMIT,
@@ -60,6 +65,10 @@ EVENT_KINDS = (
     EV_CLIENT_HOOK,
     EV_SIGNAL_DELIVERED,
     EV_THREAD_SPAWN,
+    EV_CLIENT_FAULT,
+    EV_CLIENT_QUARANTINED,
+    EV_FRAGMENT_BAILOUT,
+    EV_SMC_INVALIDATE,
 )
 
 # How the event stream maps back onto RuntimeStats counters.  Each
@@ -82,6 +91,10 @@ STATS_EVENT_MAP = {
     "client_bb_hooks": (EV_CLIENT_HOOK, (("phase", "bb"),)),
     "client_trace_hooks": (EV_CLIENT_HOOK, (("phase", "trace"),)),
     "cache_evictions": (EV_CACHE_EVICTION, ()),
+    "client_faults": (EV_CLIENT_FAULT, ()),
+    "client_quarantines": (EV_CLIENT_QUARANTINED, ()),
+    "fragment_bailouts": (EV_FRAGMENT_BAILOUT, ()),
+    "smc_invalidations": (EV_SMC_INVALIDATE, ()),
 }
 
 

@@ -1,9 +1,14 @@
 """Sinks for the drtrace event stream and profiler.
 
-Three consumption paths:
+Consumption paths:
 
-* :func:`write_jsonl` — one JSON object per recorded event, for
-  offline analysis;
+* :class:`JsonlSink` — a *streaming* JSON Lines writer usable as a
+  ``dr_register_event_tracer`` callback: each event is written as it is
+  emitted, and the context manager flushes and closes the file even
+  when the run raises, so a crashing (or chaos-injected) run still
+  leaves a complete event log on disk;
+* :func:`write_jsonl` — one JSON object per recorded event from an
+  already-collected list, for offline analysis;
 * :func:`format_report` — the end-of-run text report (event counts,
   hot-fragment table, attribution summary) printed by
   ``python -m repro.tools.trace``;
@@ -13,6 +18,55 @@ Three consumption paths:
 """
 
 import json
+
+
+class JsonlSink:
+    """Streaming JSON Lines event sink.
+
+    Callable — register it directly as an event tracer — and a context
+    manager: ``__exit__`` flushes and closes unconditionally, so events
+    written before an exception survive (the pre-streaming exporter
+    buffered everything and lost the whole log when the run raised).
+
+    ``kinds`` optionally restricts which event kinds are written.
+    """
+
+    def __init__(self, fp_or_path, kinds=None):
+        if hasattr(fp_or_path, "write"):
+            self._fp = fp_or_path
+            self._owns_fp = False
+        else:
+            self._fp = open(fp_or_path, "w")
+            self._owns_fp = True
+        self._kinds = None if kinds is None else frozenset(kinds)
+        self.written = 0
+        self.closed = False
+
+    def __call__(self, event):
+        if self.closed:
+            return
+        if self._kinds is not None and event.kind not in self._kinds:
+            return
+        self._fp.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._fp.write("\n")
+        self.written += 1
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._fp.flush()
+        finally:
+            if self._owns_fp:
+                self._fp.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
 
 def write_jsonl(events, fp_or_path):

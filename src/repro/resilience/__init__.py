@@ -1,0 +1,16 @@
+"""Resilience ("drguard"): fault-isolated client hooks, quarantine,
+cache-consistency invalidation support, and deterministic fault
+injection for testing all of it.
+
+The guard wraps every client hook site in the runtime and executor.  A
+client exception (other than a deliberate :class:`ClientHalt`) or a
+hook-budget overrun is attributed to the client: the fragment is
+re-emitted verbatim (the client's transform discarded) and after
+``options.client_fault_limit`` faults the client is quarantined — all
+its hooks are disabled and the run continues at native fidelity, the
+software analogue of an OSR bailout to baseline code.
+"""
+
+from repro.resilience.guard import ClientGuard, ClientHalt, HookBudgetExceeded
+
+__all__ = ["ClientGuard", "ClientHalt", "HookBudgetExceeded"]

@@ -1,0 +1,184 @@
+"""Deterministic fault injection for the drguard test harness.
+
+A :class:`FaultPlan` derives, from ``(kind, seed)``, *which* hook
+invocations misbehave — everything downstream of the seed is pure
+arithmetic, so the same plan produces the same faults at the same
+points on every run and under both execution engines.  A
+:class:`FaultInjectingClient` wraps a real client and plants the
+planned bug:
+
+``raise_in_hook``      raise from the basic-block hook;
+``corrupt_instrlist``  append a branch to an orphan label (the hook
+                       returns normally; emission then fails);
+``hook_budget_burn``   spin forever in the hook (caught by the
+                       ``client_hook_budget`` settrace counter);
+``cache_poison``       call ``dr_replace_fragment`` with a corrupt
+                       list from inside the hook (the API call raises
+                       inside the hook — a fault mid-API);
+``mid_trace_signal``   raise from the *trace* hook (paired by the
+                       chaos harness with a signal-delivering
+                       workload);
+``smc_write``          no client misbehavior at all — the workload
+                       itself stores into its own code, exercising the
+                       cache-consistency path.
+"""
+
+import random
+
+from repro.api.client import Client
+from repro.api.dr import dr_replace_fragment
+from repro.ir.instr import Instr, LabelRef
+from repro.isa.opcodes import Opcode
+
+FAULT_KINDS = (
+    "raise_in_hook",
+    "corrupt_instrlist",
+    "hook_budget_burn",
+    "cache_poison",
+    "mid_trace_signal",
+    "smc_write",
+)
+
+
+class InjectedFault(Exception):
+    """The deliberate bug the harness plants in a client hook."""
+
+
+def corrupt_instrlist(ilist):
+    """Make ``ilist`` fail emission: branch to a label that is not in
+    the list (the verifier/emitter reject out-of-fragment label
+    targets)."""
+    orphan = Instr.label()
+    ilist.append(Instr.create(Opcode.JMP, LabelRef(orphan)))
+    return ilist
+
+
+class FaultPlan:
+    """Seeded schedule of hook invocations that misbehave.
+
+    Faults fire on invocation numbers ``start, start + period,
+    start + 2*period, ...`` (1-based), with ``start`` and ``period``
+    drawn deterministically from the seed.
+    """
+
+    def __init__(self, kind, seed):
+        if kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r" % (kind,))
+        self.kind = kind
+        self.seed = seed
+        rng = random.Random("%s:%d" % (kind, seed))
+        self.start = rng.randint(1, 3)
+        self.period = rng.randint(1, 3)
+
+    def fires(self, call_index):
+        return (
+            call_index >= self.start
+            and (call_index - self.start) % self.period == 0
+        )
+
+    def __repr__(self):
+        return "<FaultPlan %s seed=%d start=%d period=%d>" % (
+            self.kind,
+            self.seed,
+            self.start,
+            self.period,
+        )
+
+
+class FaultInjectingClient(Client):
+    """Delegates every hook to ``inner``, injecting the plan's fault on
+    the scheduled invocations.  ``inner`` may be None (a pure-fault
+    client)."""
+
+    def __init__(self, plan, inner=None):
+        super().__init__()
+        self.plan = plan
+        self.inner = inner
+        self.bb_calls = 0
+        self.trace_calls = 0
+        self.injected = 0
+        self._last_tag = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def attach(self, runtime):
+        super().attach(runtime)
+        if self.inner is not None:
+            self.inner.attach(runtime)
+
+    def init(self):
+        if self.inner is not None:
+            self.inner.init()
+
+    def exit(self):
+        if self.inner is not None:
+            self.inner.exit()
+
+    def thread_init(self, context):
+        if self.inner is not None:
+            self.inner.thread_init(context)
+
+    def thread_exit(self, context):
+        if self.inner is not None:
+            self.inner.thread_exit(context)
+
+    def fragment_deleted(self, context, tag):
+        if self.inner is not None:
+            self.inner.fragment_deleted(context, tag)
+
+    def end_trace(self, context, trace_tag, next_tag):
+        if self.inner is not None:
+            return self.inner.end_trace(context, trace_tag, next_tag)
+        return super().end_trace(context, trace_tag, next_tag)
+
+    # ---------------------------------------------------------- build hooks
+
+    def basic_block(self, context, tag, ilist):
+        self.bb_calls += 1
+        kind = self.plan.kind
+        if self.plan.fires(self.bb_calls) and kind not in (
+            "mid_trace_signal",
+            "smc_write",
+        ):
+            if kind == "raise_in_hook":
+                self.injected += 1
+                raise InjectedFault(
+                    "planted bb-hook fault #%d" % self.bb_calls
+                )
+            if kind == "corrupt_instrlist":
+                self.injected += 1
+                if self.inner is not None:
+                    self.inner.basic_block(context, tag, ilist)
+                corrupt_instrlist(ilist)
+                return
+            if kind == "hook_budget_burn":
+                self.injected += 1
+                spin = 0
+                while True:  # runs until the hook budget trips
+                    spin += 1
+            if kind == "cache_poison":
+                prior = self._last_tag
+                if prior is not None and prior != tag:
+                    stale = self.runtime.decode_fragment(context, prior)
+                    if stale is not None:
+                        self.injected += 1
+                        self._last_tag = tag
+                        # Raises EmitError inside this hook.
+                        dr_replace_fragment(
+                            context, prior, corrupt_instrlist(stale)
+                        )
+        if self.inner is not None:
+            self.inner.basic_block(context, tag, ilist)
+        self._last_tag = tag
+
+    def trace(self, context, tag, ilist):
+        self.trace_calls += 1
+        if self.plan.kind == "mid_trace_signal" and self.plan.fires(
+            self.trace_calls
+        ):
+            self.injected += 1
+            raise InjectedFault(
+                "planted trace-hook fault #%d" % self.trace_calls
+            )
+        if self.inner is not None:
+            self.inner.trace(context, tag, ilist)

@@ -1,0 +1,283 @@
+"""Chaos harness: run client x workload x fault matrices under drguard.
+
+Usage::
+
+    python -m repro.tools.chaos --seeds 4 --matrix small
+    python -m repro.tools.chaos --seeds 2 --matrix full --verbose
+
+Every run pairs a real client wrapped in a
+:class:`~repro.resilience.faultinject.FaultInjectingClient` with a
+workload, under ``guard_clients`` + ``cache_consistency`` + fragment
+verification, and asserts the robustness contract:
+
+* the run completes (no crash escapes the guard);
+* output and exit code are identical to a native (no-runtime) run of
+  the same program — the injected client bugs must not perturb the
+  application;
+* the expected resilience events actually fired (the fault was
+  *exercised*, not dodged).
+
+Exit status is non-zero if any run violates the contract.
+"""
+
+import argparse
+import sys
+
+from repro.asm import CodeBuilder, mem
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.isa.registers import Reg
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.minicc import compile_source
+from repro.resilience.faultinject import FAULT_KINDS, FaultInjectingClient, FaultPlan
+from repro.tools.run import CLIENTS
+
+# ------------------------------------------------------------------ workloads
+
+LOOP_SRC = """
+int main() {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < 400; i++) {
+        acc = acc + i;
+        if (acc > 10000) { acc = acc - 9000; }
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+INDIRECT_SRC = """
+int table[4];
+
+int f0(int x) { return x + 1; }
+int f1(int x) { return x * 2; }
+int f2(int x) { return x - 3; }
+int f3(int x) { return x ^ 21; }
+
+int main() {
+    int i; int acc; int f;
+    table[0] = &f0;
+    table[1] = &f1;
+    table[2] = &f2;
+    table[3] = &f3;
+    acc = 1;
+    for (i = 0; i < 300; i++) {
+        f = table[i & 3];
+        acc = f(acc) & 0xFFFF;
+    }
+    print(acc);
+    return 0;
+}
+"""
+
+SIGNAL_SRC = """
+int ticks;
+
+int on_alarm() {
+    ticks++;
+    if (ticks < 5) { alarm(200); }
+    sigreturn;
+    return 0;
+}
+
+int churn(int n) {
+    int j; int acc;
+    acc = n;
+    for (j = 0; j < 20; j++) { acc = (acc + j) & 0xFFFF; }
+    return acc;
+}
+
+int mix(int n) {
+    int j; int acc;
+    acc = n;
+    for (j = 0; j < 20; j++) { acc = (acc ^ j) + 1; }
+    return acc & 0xFFFF;
+}
+
+int main() {
+    int i;
+    sighandler(&on_alarm);
+    alarm(200);
+    i = 0;
+    while (ticks < 5) { i = churn(i); i = mix(i); }
+    print(ticks);
+    return 0;
+}
+"""
+
+
+def build_smc_image():
+    """Self-modifying workload: iteration 6 patches the immediate of
+    the emitting ``mov`` from ``0x1000041`` ('A') to ``0x1000042``
+    ('B'), so the output is AAAAAAA then BBBBB (7 + 5).  The high bits
+    pin the encoder to the imm32 form, keeping the patched bytes at a
+    known offset before ``patch_end``."""
+    b = CodeBuilder(base=0x1000)
+    b.label("main")
+    b.mov(Reg.ESI, 0)
+    b.label("loop")
+    b.call("fn_emit")
+    b.cmp(Reg.ESI, 6)
+    b.jnz("skip")
+    b.mov(Reg.ECX, b.label_address("patch_end"))
+    b.sub(Reg.ECX, 4)
+    b.mov(Reg.EDX, 0x1000042)
+    b.mov(mem(base=Reg.ECX), Reg.EDX)
+    b.label("skip")
+    b.add(Reg.ESI, 1)
+    b.cmp(Reg.ESI, 12)
+    b.jnz("loop")
+    b.mov(Reg.EAX, 1)
+    b.mov(Reg.EBX, 0)
+    b.syscall()
+    b.label("fn_emit")
+    b.mov(Reg.EBX, 0x1000041)
+    b.label("patch_end")
+    b.mov(Reg.EAX, 2)
+    b.syscall()
+    b.ret()
+    code, labels = b.assemble()
+    patch_at = labels["patch_end"] - 4 - 0x1000
+    imm = int.from_bytes(code[patch_at : patch_at + 4], "little")
+    assert imm == 0x1000041, "encoder moved the patch site (imm=%#x)" % imm
+    return b.image(entry="main")
+
+
+def workload_images():
+    return {
+        "loop": compile_source(LOOP_SRC),
+        "indirect": compile_source(INDIRECT_SRC),
+        "signal": compile_source(SIGNAL_SRC),
+        "smc": build_smc_image(),
+    }
+
+
+# ------------------------------------------------------------------- matrices
+
+SMALL_CLIENTS = ("rlr", "inc2add", "ctrace")
+FULL_CLIENTS = ("rlr", "inc2add", "ctrace", "ibdisp", "null")
+
+# Fault kind -> workloads that exercise it.  mid_trace_signal needs a
+# signal-delivering program; smc_write needs the self-modifying one.
+def fault_workloads(kind, matrix):
+    if kind == "mid_trace_signal":
+        return ("signal",)
+    if kind == "smc_write":
+        return ("smc",)
+    if matrix == "small":
+        return ("loop", "indirect")
+    return ("loop", "indirect", "signal")
+
+
+# Event kinds that must appear for each fault kind (the fault actually
+# fired) — checked against the observer's aggregate counts.
+EXPECTED_EVENTS = {
+    "raise_in_hook": ("client_fault", "fragment_bailout"),
+    "corrupt_instrlist": ("client_fault", "fragment_bailout"),
+    "hook_budget_burn": ("client_fault", "fragment_bailout"),
+    "cache_poison": ("client_fault", "fragment_bailout"),
+    "mid_trace_signal": ("client_fault", "signal_delivered"),
+    "smc_write": ("smc_invalidate",),
+}
+
+
+def run_one(image, client_name, fault_kind, seed, closure_engine=True):
+    """One chaos run; returns (ok, detail_string, result)."""
+    native = run_native(Process(image))
+
+    options = RuntimeOptions.with_traces()
+    options.guard_clients = True
+    options.client_fault_limit = 3
+    options.client_hook_budget = 200000
+    options.cache_consistency = True
+    options.verify_fragments = True
+    options.trace_events = True
+    options.trace_buffer = None
+    options.closure_engine = closure_engine
+    if fault_kind in ("mid_trace_signal", "smc_write"):
+        # Make traces (and therefore trace hooks / stitched-span
+        # invalidation) happen early in these short programs.
+        options.trace_threshold = 3
+
+    plan = FaultPlan(fault_kind, seed)
+    client = FaultInjectingClient(plan, inner=CLIENTS[client_name]())
+    runtime = DynamoRIO(Process(image), options=options, client=client)
+    try:
+        result = runtime.run()
+    except Exception as exc:  # contract: nothing escapes the guard
+        return False, "crashed: %s: %s" % (type(exc).__name__, exc), None
+
+    problems = []
+    if result.output != native.output:
+        problems.append(
+            "output diverged (%r != native %r)"
+            % (result.output[:32], native.output[:32])
+        )
+    if result.exit_code != native.exit_code:
+        problems.append(
+            "exit code diverged (%s != native %s)"
+            % (result.exit_code, native.exit_code)
+        )
+    counts = runtime.observer.counts
+    for kind in EXPECTED_EVENTS[fault_kind]:
+        if not counts.get(kind):
+            problems.append("expected event %r never fired" % kind)
+    if fault_kind != "smc_write" and client.injected == 0:
+        problems.append("fault plan never fired")
+    if problems:
+        return False, "; ".join(problems), result
+    return True, "ok (%d faults, %d events)" % (
+        runtime.stats.client_faults,
+        runtime.observer.total_emitted,
+    ), result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=4, help="seeds per cell")
+    parser.add_argument(
+        "--matrix", default="small", choices=["small", "full"],
+        help="small: 3 clients, 2 workloads/fault; full: 5 clients, both engines",
+    )
+    parser.add_argument(
+        "--fault", choices=FAULT_KINDS, help="restrict to one fault kind"
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    images = workload_images()
+    clients = SMALL_CLIENTS if args.matrix == "small" else FULL_CLIENTS
+    engines = (True,) if args.matrix == "small" else (True, False)
+    kinds = (args.fault,) if args.fault else FAULT_KINDS
+
+    runs = failures = 0
+    for fault_kind in kinds:
+        for workload in fault_workloads(fault_kind, args.matrix):
+            for client_name in clients:
+                for seed in range(args.seeds):
+                    for engine in engines:
+                        runs += 1
+                        ok, detail, _ = run_one(
+                            images[workload], client_name, fault_kind,
+                            seed, closure_engine=engine,
+                        )
+                        label = "%-16s %-8s %-7s seed=%d %s" % (
+                            fault_kind, workload, client_name, seed,
+                            "closure" if engine else "tuple",
+                        )
+                        if not ok:
+                            failures += 1
+                            print("FAIL %s: %s" % (label, detail))
+                        elif args.verbose:
+                            print("ok   %s: %s" % (label, detail))
+
+    print(
+        "chaos: %d runs, %d failures (%s matrix, %d seeds)"
+        % (runs, failures, args.matrix, args.seeds)
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ import argparse
 from repro.core import DynamoRIO, RuntimeOptions
 from repro.loader import Process
 from repro.machine.cost import CostModel, Family
-from repro.observe import EVENT_KINDS, format_event, format_report, write_jsonl
+from repro.observe import EVENT_KINDS, JsonlSink, format_event, format_report
 from repro.tools.run import CLIENTS
 
 
@@ -92,7 +92,16 @@ def main(argv=None):
         client=client,
         cost_model=CostModel(family),
     )
-    result = runtime.run()
+    # Stream the export while the run happens: events are on disk even
+    # if the run raises (the sink flushes on the way out), and the
+    # export is not limited by the ring capacity.
+    if args.jsonl:
+        with JsonlSink(args.jsonl, kinds=kinds) as sink:
+            runtime.observer.tracers.append(sink)
+            result = runtime.run()
+        print("wrote %d events to %s" % (sink.written, args.jsonl))
+    else:
+        result = runtime.run()
     observer = runtime.observer
 
     print(
@@ -101,15 +110,12 @@ def main(argv=None):
     )
     print(format_report(observer, top=args.top, total_cycles=result.cycles))
 
-    selected = observer.events(kinds)
     if args.events:
+        selected = observer.events(kinds)
         print()
         print("events (%d):" % len(selected))
         for event in selected:
             print(format_event(event))
-    if args.jsonl:
-        n = write_jsonl(selected, args.jsonl)
-        print("wrote %d events to %s" % (n, args.jsonl))
     return 0
 
 

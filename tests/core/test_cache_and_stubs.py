@@ -50,6 +50,54 @@ class TestCacheEviction:
         assert result.events["cache_evictions"] > 0
         assert result.events["fragments_deleted"] > 0
 
+    def test_eviction_traces_and_tiny_cache_stay_transparent(
+        self, indirect_image, indirect_native
+    ):
+        """Constant eviction while trace recordings are active (tiny
+        cache, hair-trigger threshold) must stay transparent on both
+        engines."""
+        for closure_engine in (True, False):
+            opts = RuntimeOptions.with_traces()
+            opts.code_cache_limit = 700
+            opts.trace_threshold = 3  # recordings active most of the run
+            opts.closure_engine = closure_engine
+            _dr, result = run_under(indirect_image, opts)
+            assert result.output == indirect_native.output
+            assert result.exit_code == indirect_native.exit_code
+            assert result.events["cache_evictions"] > 0
+            assert result.events["traces_built"] > 0
+
+    def test_eviction_flush_abandons_stale_recording(self, loop_image):
+        """An eviction flush must squash an in-progress trace recording
+        that references flushed blocks.  Finalizing it would stitch
+        deleted fragments — and because the flush already unregistered
+        them from the cache-consistency region map, a store into their
+        source ranges during the rest of the recording could not squash
+        it either, so the trace would capture stale code."""
+        from repro.core import DynamoRIO
+        from repro.core.trace_builder import TraceRecording
+        from repro.loader import Process
+
+        opts = RuntimeOptions.with_traces()
+        opts.cache_consistency = True
+        runtime = DynamoRIO(Process(loop_image), options=opts)
+        thread = runtime.current_thread
+
+        first = runtime._build_bb(loop_image.entry)
+        recording = TraceRecording(first.tag)
+        recording.append(first)
+        thread.trace_in_progress = recording
+
+        # Shrink the cache under its current occupancy so the next
+        # build evicts, flushing `first` out from under the recording.
+        thread.bb_cache.limit = thread.bb_cache.used()
+        next_tag = first.source_spans[0][1]
+        runtime._build_bb(next_tag)
+
+        assert first.deleted
+        assert runtime.stats.cache_evictions == 1
+        assert thread.trace_in_progress is None
+
     def test_fragment_deleted_hook_fires(self, loop_image):
         deleted = []
 

@@ -220,3 +220,41 @@ def test_traced_runs_replay_stats_and_match_engines(
 @pytest.mark.parametrize("source_name", sorted(SOURCES))
 def test_traced_runs_full_matrix(images, source_name, client_name):
     _check_traced_pair(images[source_name], CLIENTS[client_name])
+
+
+# ----------------------------------------------- drguard fault determinism
+
+def _run_faulted(image, fault_kind, seed, closure_engine):
+    """A guarded run with a seeded fault-injecting client."""
+    from repro.resilience.faultinject import FaultInjectingClient, FaultPlan
+
+    options = RuntimeOptions.with_traces()
+    options.closure_engine = closure_engine
+    options.guard_clients = True
+    options.cache_consistency = True
+    options.trace_events = True
+    options.trace_buffer = None
+    client = FaultInjectingClient(
+        FaultPlan(fault_kind, seed), inner=StrengthReduction()
+    )
+    runtime = DynamoRIO(
+        Process(image), options=options, client=client,
+        cost_model=CostModel(),
+    )
+    return runtime, runtime.run()
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize(
+    "fault_kind", ["raise_in_hook", "corrupt_instrlist"]
+)
+def test_faulted_runs_bit_identical_across_engines(images, fault_kind, seed):
+    """Injected client faults — and the guard's recovery from them —
+    are deterministic: the same fault plan produces the same faults,
+    bailouts, cycles, and event stream on both engines."""
+    rt_c, res_c = _run_faulted(images["loop"], fault_kind, seed, True)
+    rt_t, res_t = _run_faulted(images["loop"], fault_kind, seed, False)
+    _assert_identical(res_c, res_t)
+    assert rt_c.stats.client_faults == rt_t.stats.client_faults > 0
+    assert rt_c.stats.fragment_bailouts == rt_t.stats.fragment_bailouts
+    assert _stream(rt_c) == _stream(rt_t)

@@ -112,6 +112,88 @@ class TestRuntimeSignals:
         assert int.from_bytes(result.output, "little") == 4
 
 
+class TestMidTraceSignal:
+    """A signal arriving while a trace recording is in progress must
+    abandon the recording: stitching across the asynchronous redirect
+    would bake the handler's blocks into the trace as its fall-through
+    path."""
+
+    def test_deliver_signal_squashes_recording(self, signal_image):
+        from repro.core.trace_builder import TraceRecording
+
+        dr = DynamoRIO(
+            Process(signal_image), options=RuntimeOptions.with_traces()
+        )
+        thread = dr.current_thread
+        thread.cpu.regs[4] = dr.process.initial_stack_pointer()  # esp
+        dr.system.signal_handler = signal_image.symbol("fn_on_alarm")
+        thread.trace_in_progress = TraceRecording(signal_image.entry)
+        target = dr._deliver_signal(thread, signal_image.entry)
+        assert target == dr.system.signal_handler
+        assert thread.trace_in_progress is None
+
+    def test_squash_is_observable_in_the_event_stream(self, signal_image):
+        from repro.core.trace_builder import TraceRecording
+
+        options = RuntimeOptions.with_traces()
+        options.trace_events = True
+        options.trace_buffer = None
+        dr = DynamoRIO(Process(signal_image), options=options)
+        thread = dr.current_thread
+        thread.cpu.regs[4] = dr.process.initial_stack_pointer()  # esp
+        dr.system.signal_handler = signal_image.symbol("fn_on_alarm")
+        thread.trace_in_progress = TraceRecording(signal_image.entry)
+        dr._deliver_signal(thread, signal_image.entry)
+        delivered = [
+            e for e in dr.observer.events() if e.kind == "signal_delivered"
+        ]
+        assert delivered and delivered[-1].data.get("trace_squashed") is True
+
+    @pytest.mark.parametrize("closure_engine", [True, False])
+    def test_hair_trigger_traces_stay_transparent(
+        self, signal_image, closure_engine
+    ):
+        """With a hair-trigger threshold, recordings are active when
+        alarms land; output and signal count must still match native."""
+        native = run_native(Process(signal_image))
+        options = RuntimeOptions.with_traces()
+        options.trace_threshold = 2
+        options.closure_engine = closure_engine
+        result = DynamoRIO(Process(signal_image), options=options).run()
+        assert result.output == native.output
+        assert result.exit_code == native.exit_code
+        assert (
+            result.events["signals_delivered"]
+            == native.events["signals_delivered"]
+        )
+        assert result.events["traces_built"] > 0
+
+    def test_no_trace_spans_cover_the_handler(self, signal_image):
+        """No finalized trace stitched handler code: every trace's
+        source spans stay clear of the handler function (the
+        cache-consistency span bookkeeping makes this checkable)."""
+        options = RuntimeOptions.with_traces()
+        options.trace_threshold = 2
+        options.cache_consistency = True
+        dr = DynamoRIO(Process(signal_image), options=options)
+        dr.run()
+        # The handler function occupies [fn_on_alarm, fn_main).
+        h_lo = signal_image.symbol("fn_on_alarm")
+        h_hi = signal_image.symbol("fn_main")
+        assert h_lo < h_hi
+        checked = 0
+        for thread in dr.threads:
+            for trace in thread.trace_cache.fragments.values():
+                if h_lo <= trace.tag < h_hi:
+                    continue  # the handler's own traces may cover it
+                checked += 1
+                for start, end in trace.source_spans:
+                    assert not (start < h_hi and h_lo < end), (
+                        "trace 0x%x stitched handler code" % trace.tag
+                    )
+        assert checked > 0
+
+
 class TestIret:
     def test_iret_restores_flags(self):
         """The handler may clobber eflags; iret restores the interrupted

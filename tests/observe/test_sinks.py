@@ -1,0 +1,100 @@
+"""JsonlSink: streaming export that survives a crashing run."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.observe import JsonlSink
+from repro.observe.events import Event
+
+
+def _event(seq, kind, tag=None, **data):
+    return Event(seq, kind, tag, data)
+
+
+class TestJsonlSinkUnit:
+    def test_writes_one_json_object_per_event(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink(_event(1, "fragment_emit", 0x1000, size=12))
+        sink(_event(2, "ibl_hit", 0x2000))
+        assert sink.written == 2
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "fragment_emit"
+        assert first["tag"] == 0x1000
+
+    def test_kinds_filter(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf, kinds=["ibl_hit"])
+        sink(_event(1, "fragment_emit", 0x1000))
+        sink(_event(2, "ibl_hit", 0x2000))
+        sink(_event(3, "ibl_miss", 0x2000))
+        assert sink.written == 1
+        assert json.loads(buf.getvalue())["event"] == "ibl_hit"
+
+    def test_close_is_idempotent_and_stops_writes(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink(_event(1, "ibl_hit"))
+        sink.close()
+        sink.close()
+        sink(_event(2, "ibl_hit"))
+        assert sink.written == 1
+        # A caller-provided fp is flushed but not closed.
+        assert not buf.closed
+
+    def test_owns_path_and_closes_it(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink(_event(1, "ibl_hit", 7))
+        assert sink.closed
+        assert json.loads(path.read_text())["tag"] == 7
+
+    def test_events_survive_an_exception(self, tmp_path):
+        """The whole point: a run that raises still leaves the events
+        written so far on disk (the buffered exporter lost them all)."""
+        path = tmp_path / "events.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlSink(str(path)) as sink:
+                sink(_event(1, "fragment_emit", 0x1000))
+                sink(_event(2, "ibl_hit", 0x2000))
+                raise RuntimeError("mid-run crash")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["seq"] == 2
+
+
+class TestJsonlSinkStreaming:
+    def test_streams_a_crashing_run(self, tmp_path, loop_image):
+        """Registered as a tracer on a run that dies mid-flight, the
+        sink still holds every event emitted before the crash."""
+        from repro.api.client import Client
+
+        class Bomb(Exception):
+            pass
+
+        class CrashingClient(Client):
+            def basic_block(self, context, tag, ilist):
+                if context.runtime.stats.bbs_built >= 5:
+                    raise Bomb("client blew up (unguarded)")
+
+        options = RuntimeOptions.with_traces()
+        options.trace_events = True
+        options.trace_buffer = None
+        runtime = DynamoRIO(
+            Process(loop_image), options=options, client=CrashingClient()
+        )
+        path = tmp_path / "crash.jsonl"
+        with pytest.raises(Bomb):
+            with JsonlSink(str(path)) as sink:
+                runtime.observer.tracers.append(sink)
+                runtime.run()
+        lines = path.read_text().splitlines()
+        assert sink.written == len(lines) > 0
+        seqs = [json.loads(line)["seq"] for line in lines]
+        assert seqs == sorted(seqs)
