@@ -79,7 +79,6 @@ def show_level4():
     for off, n in boundaries():
         instr = Instr.from_raw(FIGURE2[off : off + n], BASE_PC + off)
         # modify a register operand: esi -> edi, like the paper's figure
-        from repro.isa.operands import RegOperand
         from repro.isa.registers import Reg
 
         for i, op in enumerate(instr.srcs):

@@ -16,7 +16,7 @@ label branches precisely instead of treating them as barriers.
 """
 
 from repro.analysis.dataflow import BACKWARD, DataflowProblem, solve
-from repro.isa.eflags import EFLAGS_READ_ALL, EFLAGS_WRITE_ALL, writes_to_reads
+from repro.isa.eflags import EFLAGS_READ_ALL, writes_to_reads
 from repro.isa.operands import MemOperand, RegOperand
 from repro.isa.registers import Reg
 

@@ -3,7 +3,9 @@
 Importing this package registers every built-in rule with the
 :mod:`repro.analysis.verifier` registry, in a deliberate order: cheap
 structural checks first (linearity, level consistency), then the
-dataflow-backed safety rules (eflags, scratch registers, transparency).
+dataflow-backed safety rules (eflags, scratch registers, transparency),
+and last the symbolic translation-equivalence check (drequiv), which
+leans on the earlier rules to justify erasing meta instructions.
 
 Out-of-tree rules register the same way::
 
@@ -22,3 +24,4 @@ from repro.analysis.rules import levels  # noqa: F401
 from repro.analysis.rules import eflags_safety  # noqa: F401
 from repro.analysis.rules import scratch  # noqa: F401
 from repro.analysis.rules import transparency  # noqa: F401
+from repro.analysis.rules import equivalence  # noqa: F401

@@ -33,9 +33,15 @@ class Severity:
 
 
 class Diagnostic:
-    """One finding: a rule, a severity, an instruction, a message."""
+    """One finding: a rule, a severity, an instruction, a message.
 
-    __slots__ = ("rule", "severity", "instr", "message", "index")
+    ``tag`` (the fragment's application tag) and ``window`` (a short
+    disassembly excerpt around the offending instruction) are attached
+    by :func:`verify_fragment` when available, so a failure is
+    actionable without re-running under a debugger.
+    """
+
+    __slots__ = ("rule", "severity", "instr", "message", "index", "tag", "window")
 
     def __init__(self, rule, severity, instr, message, index=None):
         self.rule = rule
@@ -43,6 +49,8 @@ class Diagnostic:
         self.instr = instr
         self.message = message
         self.index = index  # position within the fragment, labels included
+        self.tag = None
+        self.window = None
 
     @property
     def is_error(self):
@@ -50,7 +58,11 @@ class Diagnostic:
 
     def format(self):
         where = "" if self.index is None else "@%d " % self.index
-        return "%s[%s] %s%s" % (self.rule, self.severity, where, self.message)
+        tag = "" if self.tag is None else "tag=0x%x " % self.tag
+        head = "%s[%s] %s%s%s" % (self.rule, self.severity, tag, where, self.message)
+        if self.window:
+            head += "\n" + self.window
+        return head
 
     def __repr__(self):
         return "<Diagnostic %s>" % self.format()
@@ -80,10 +92,18 @@ class FragmentContext:
     wants.
     """
 
-    def __init__(self, ilist, kind="bb", is_runtime_addr=None):
+    def __init__(self, ilist, kind="bb", is_runtime_addr=None, tag=None,
+                 source_tags=None, memory=None, max_bb_instrs=256):
         self.ilist = ilist
         self.kind = kind
         self.is_runtime_addr = is_runtime_addr
+        self.tag = tag
+        # Equivalence-rule inputs: the ordered application block tags the
+        # fragment translates, and the memory to rebuild them from.  The
+        # equivalence rule is a no-op when memory is None.
+        self.source_tags = source_tags
+        self.memory = memory
+        self.max_bb_instrs = max_bb_instrs
         self.nodes = list(ilist)
         self.position = {id(n): i for i, n in enumerate(self.nodes)}
         self._reg_live = None
@@ -174,14 +194,38 @@ def get_rule(rule_id):
     return _REGISTRY[rule_id]
 
 
-def verify_fragment(ilist, kind="bb", rules=None, is_runtime_addr=None):
+def _disassembly_window(ctx, index, radius=2):
+    """A short, marker-annotated disassembly excerpt around ``index``."""
+    lo = max(0, index - radius)
+    hi = min(len(ctx.nodes), index + radius + 1)
+    lines = []
+    for i in range(lo, hi):
+        node = ctx.nodes[i]
+        try:
+            text = node.disassemble()
+        except Exception:
+            text = repr(node)
+        marker = ">>" if i == index else "  "
+        lines.append("    %s @%-3d %s" % (marker, i, text))
+    return "\n".join(lines)
+
+
+def verify_fragment(ilist, kind="bb", rules=None, is_runtime_addr=None,
+                    tag=None, source_tags=None, memory=None,
+                    max_bb_instrs=256):
     """Run verifier rules over one fragment's InstrList.
 
     Returns the diagnostics sorted by instruction position (errors
     before warnings at the same instruction).  ``rules`` restricts the
-    run to an iterable of rule ids.
+    run to an iterable of rule ids.  ``tag``/``source_tags``/``memory``
+    feed the equivalence rule and the diagnostic headers; the fragment
+    tag and a disassembly window around the offending instruction are
+    attached to every finding.
     """
-    ctx = FragmentContext(ilist, kind=kind, is_runtime_addr=is_runtime_addr)
+    ctx = FragmentContext(
+        ilist, kind=kind, is_runtime_addr=is_runtime_addr, tag=tag,
+        source_tags=source_tags, memory=memory, max_bb_instrs=max_bb_instrs,
+    )
     selected = all_rules() if rules is None else [get_rule(r) for r in rules]
     diagnostics = []
     for rule in selected:
@@ -193,18 +237,26 @@ def verify_fragment(ilist, kind="bb", rules=None, is_runtime_addr=None):
             d.rule,
         )
     )
+    for d in diagnostics:
+        if d.tag is None:
+            d.tag = tag
+        if d.window is None and d.index is not None:
+            d.window = _disassembly_window(ctx, d.index)
     return diagnostics
 
 
 def assert_fragment_valid(ilist, kind="bb", rules=None, is_runtime_addr=None,
-                          where=None):
+                          where=None, tag=None, source_tags=None, memory=None,
+                          max_bb_instrs=256):
     """Verify and raise :class:`VerificationError` on any error.
 
     Returns the full diagnostic list (which may still carry warnings)
     when the fragment passes.
     """
     diagnostics = verify_fragment(
-        ilist, kind=kind, rules=rules, is_runtime_addr=is_runtime_addr
+        ilist, kind=kind, rules=rules, is_runtime_addr=is_runtime_addr,
+        tag=tag, source_tags=source_tags, memory=memory,
+        max_bb_instrs=max_bb_instrs,
     )
     errors = [d for d in diagnostics if d.is_error]
     if errors:

@@ -12,7 +12,6 @@ exist so clients can be written to read like the paper's Figure 3.
 
 from repro.ir.instr import Instr
 from repro.machine.cost import Family
-from repro.isa.opcodes import Opcode
 
 # ----------------------------------------------------------- transparency
 

@@ -31,8 +31,7 @@ import re
 from repro.asm.builder import CodeBuilder
 from repro.isa.opcodes import opcode_from_name
 from repro.isa.operands import ImmOperand, MemOperand
-from repro.isa.registers import reg_from_name, Reg
-from repro.loader.image import Image
+from repro.isa.registers import reg_from_name
 
 
 class AsmError(Exception):

@@ -16,11 +16,9 @@ returns somewhere else).  This client uses the custom-trace interface:
   ``lea esp, [esp+4]`` and the target check disappears.
 """
 
-from repro.api.client import Client, CONTINUE_TRACE, DEFAULT_TRACE_END, END_TRACE
+from repro.api.client import Client, CONTINUE_TRACE, END_TRACE
 from repro.api.dr import dr_mark_trace_head, dr_printf
 from repro.ir.create import INSTR_CREATE_lea, OPND_CREATE_MEM, OPND_CREATE_REG
-from repro.isa.opcodes import Opcode
-from repro.isa.operands import PcOperand
 from repro.isa.registers import Reg
 
 
@@ -110,6 +108,11 @@ class CustomTraces(Client):
                 )
                 ilist.replace(instr, pop)
                 pop.is_exit_cti = False
+                # Tag the replacement so drequiv knows a return was
+                # deleted here: the checker re-synthesizes the indirect
+                # observable (target = popped word) and flags the
+                # continuation as assumed rather than proven.
+                pop.note = {"ret_removed": instr.note.get("inline_target")}
                 self.returns_removed += 1
 
     def fragment_deleted(self, context, tag):

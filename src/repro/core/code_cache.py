@@ -16,7 +16,6 @@ invalidate exactly the stale fragments (including traces that stitched
 the written block).
 """
 
-from repro.machine.errors import MachineFault
 from repro.machine.memory import WATCH_SHIFT
 
 

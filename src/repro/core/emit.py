@@ -39,7 +39,6 @@ use to validate indirect targets.
 
 from repro.ir.instr import LabelRef
 from repro.isa.opcodes import Opcode
-from repro.machine.errors import MachineFault
 from repro.observe.events import EV_FRAGMENT_EMIT
 
 OP_EXEC = 0
@@ -96,50 +95,83 @@ def _return_address(instr):
     )
 
 
-def _verify_before_emit(tag, kind, ilist, runtime):
+def _verify_before_emit(tag, kind, ilist, runtime, options, source_tags):
     """Run the fragment verifier on a client-processed InstrList.
 
     Called before bundle expansion so the Level-0 invariants are still
     observable.  Exit-stub code attached to exit CTIs is verified as its
     own ``"stub"`` fragment.  Errors raise
     :class:`~repro.analysis.verifier.VerificationError`; warnings are
-    collected on ``runtime.verifier_diagnostics`` when available.
+    collected on ``runtime.verifier_diagnostics`` when available, and
+    error diagnostics are recorded there too before the raise (so the
+    chaos harness can attribute a guarded bailout to the rule that
+    fired).
+
+    ``verify_fragments`` selects the full rule set; when only
+    ``verify_equivalence`` is on, just the equivalence rule runs.  The
+    equivalence rule additionally needs application memory and the
+    source tags; both come from the runtime.
     """
     # Imported lazily: verification is a debug mode and repro.analysis
     # pulls in the whole rules package.
-    from repro.analysis.verifier import assert_fragment_valid
+    from repro.analysis.verifier import VerificationError, assert_fragment_valid
 
+    structural = getattr(options, "verify_fragments", False)
+    equivalence = getattr(options, "verify_equivalence", False)
+    rules = None if structural else ["equivalence"]
     is_runtime_addr = None
+    memory = None
+    max_bb_instrs = 256
     if runtime is not None:
         is_runtime_addr = runtime.is_runtime_address
+        if equivalence:
+            memory = runtime.memory
+            max_bb_instrs = runtime.options.max_bb_instrs
     where = "tag=0x%x kind=%s" % (tag, kind)
-    diagnostics = assert_fragment_valid(
-        ilist, kind=kind, is_runtime_addr=is_runtime_addr, where=where
-    )
-    for instr in ilist:
-        if instr.exit_stub_code is not None:
-            diagnostics += assert_fragment_valid(
-                instr.exit_stub_code,
-                kind="stub",
-                is_runtime_addr=is_runtime_addr,
-                where=where + " (exit stub)",
-            )
+    try:
+        diagnostics = assert_fragment_valid(
+            ilist, kind=kind, rules=rules, is_runtime_addr=is_runtime_addr,
+            where=where, tag=tag, source_tags=source_tags, memory=memory,
+            max_bb_instrs=max_bb_instrs,
+        )
+        if structural:
+            for instr in ilist:
+                if instr.exit_stub_code is not None:
+                    diagnostics += assert_fragment_valid(
+                        instr.exit_stub_code,
+                        kind="stub",
+                        is_runtime_addr=is_runtime_addr,
+                        where=where + " (exit stub)",
+                        tag=tag,
+                    )
+    except VerificationError as exc:
+        if runtime is not None:
+            runtime.verifier_diagnostics.extend(exc.diagnostics)
+        raise
     if runtime is not None and diagnostics:
         runtime.verifier_diagnostics.extend(diagnostics)
 
 
 def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=None,
-                  reason="build"):
+                  reason="build", source_tags=None):
     """Lower an InstrList into a :class:`Fragment` (not yet placed).
 
     ``reason`` tags the drtrace ``fragment_emit`` event: ``"build"``
     for fresh blocks/traces, ``"replace"`` when dr_replace_fragment
-    re-emits an optimized version.
+    re-emits an optimized version.  ``source_tags`` is the ordered
+    sequence of application block tags the list translates (defaults to
+    ``(tag,)``); the drequiv equivalence rule verifies against it.
     """
-    if options is not None and getattr(options, "verify_fragments", False):
-        _verify_before_emit(tag, kind, ilist, runtime)
+    if source_tags is None:
+        source_tags = (tag,)
+    if options is not None and (
+        getattr(options, "verify_fragments", False)
+        or getattr(options, "verify_equivalence", False)
+    ):
+        _verify_before_emit(tag, kind, ilist, runtime, options, source_tags)
     ilist.expand_bundles()
     fragment = Fragment(tag, kind)
+    fragment.source_tags = tuple(source_tags)
     code = []
     exits = []
     size = 0

@@ -60,6 +60,7 @@ class Fragment:
         "cache_addr",
         "size",
         "instrs_source",
+        "source_tags",
         "is_trace_head",
         "head_counter",
         "incoming",
@@ -82,6 +83,10 @@ class Fragment:
         # The InstrList this fragment was emitted from, retained to
         # support dr_decode_fragment (adaptive re-optimization).
         self.instrs_source = None
+        # Ordered application block tags this fragment translates:
+        # (tag,) for a basic block, the stitched sequence for a trace.
+        # Input to the drequiv equivalence checker (analysis/equiv.py).
+        self.source_tags = (tag,)
         self.is_trace_head = False
         self.head_counter = 0
         # Incoming LinkStubs pointing at this fragment (for unlinking

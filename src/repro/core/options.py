@@ -21,6 +21,7 @@ class RuntimeOptions:
         code_cache_limit=None,
         sideline_optimization=False,
         verify_fragments=False,
+        verify_equivalence=False,
         closure_engine=True,
         trace_events=False,
         trace_buffer=65536,
@@ -49,6 +50,16 @@ class RuntimeOptions:
         # Debug mode: run the fragment verifier (repro.analysis.verifier)
         # over every InstrList after client hooks, raising on errors.
         self.verify_fragments = verify_fragments
+        # Debug mode: symbolic translation validation ("drequiv") — at
+        # every emit, prove the fragment computes the same registers,
+        # flags, and store sequence as the application blocks it was
+        # built from (modulo sanctioned differences; see
+        # repro.analysis.equiv).  Independent of verify_fragments, but
+        # the two together form the full proof: equivalence erases meta
+        # instructions and relies on the structural rules to show the
+        # erasure is safe.  Costs zero simulated cycles; off by default
+        # so the emit path stays a single attribute check.
+        self.verify_equivalence = verify_equivalence
         # Execution engine: True drives fragments through their
         # closure-compiled step tables (repro.core.closures); False
         # falls back to interpreting the lowered op tuples.  Both

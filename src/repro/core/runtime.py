@@ -12,7 +12,6 @@ trace generation mode, whose blocks are stitched into a trace (calling
 the client's trace hook) that shadows its head.
 """
 
-from collections import namedtuple
 
 from repro.core.bb_builder import (
     block_instr_count,
@@ -21,7 +20,7 @@ from repro.core.bb_builder import (
 )
 from repro.core.code_cache import CacheFullError, CodeRegionMap
 from repro.core.emit import emit_fragment
-from repro.core.execute import EXIT_DISPATCH, EXIT_IBL_MISS, Executor
+from repro.core.execute import Executor
 from repro.core.fragments import Fragment, LinkStub
 from repro.core.options import RuntimeOptions
 from repro.core.stats import RuntimeStats
@@ -35,7 +34,7 @@ from repro.core.trace_builder import (
     stitch_trace,
 )
 from repro.machine.cost import CostModel, CycleCounter
-from repro.machine.errors import MachineFault, ProgramExit
+from repro.machine.errors import ProgramExit
 from repro.machine.interp import DEFAULT_MAX_INSTRUCTIONS, Interpreter, RunResult
 from repro.machine.system import System, ThreadExit, push_signal_frame
 from repro.observe.events import (
@@ -488,6 +487,7 @@ class DynamoRIO:
                 self.options,
                 self.stats,
                 runtime=self,
+                source_tags=tuple(recording.tags()),
             )
 
         if hooks_on and guard is not None:
@@ -793,6 +793,7 @@ class DynamoRIO:
         new = emit_fragment(
             tag, old.kind, ilist, self.cost, self.options, self.stats,
             runtime=self, reason="replace",
+            source_tags=getattr(old, "source_tags", None),
         )
         new.is_trace_head = old.is_trace_head
         new.head_counter = old.head_counter

@@ -17,7 +17,6 @@ the recorded blocks are stitched into a single linear InstrList:
   when the check fails.
 """
 
-from repro.ir.instr import Instr
 from repro.ir.instrlist import InstrList
 from repro.isa.opcodes import JCC_OPPOSITE, Opcode
 from repro.isa.operands import PcOperand

@@ -26,7 +26,6 @@ from repro.clients import (
     make_all_optimizations,
 )
 from repro.experiments.harness import Config, geometric_mean, normalized_time
-from repro.machine.cost import Family
 from repro.workloads import all_benchmarks, fp_benchmarks, int_benchmarks
 
 CONFIGS = [

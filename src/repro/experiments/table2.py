@@ -20,7 +20,6 @@ suite, discovered by scanning each image's code section.
 
 import time
 
-from repro.core.bb_builder import build_basic_block
 from repro.ir.instr import Instr
 from repro.ir.instrlist import InstrList
 from repro.isa.decoder import decode_boundary, decode_opcode

@@ -15,7 +15,7 @@ import sys
 
 from repro.ir.instr import Instr
 from repro.ir.shapes import explicit_arity
-from repro.isa.opcodes import Opcode, OP_INFO
+from repro.isa.opcodes import OP_INFO
 from repro.isa.operands import (
     OPND_IMM8 as OPND_CREATE_INT8,
     OPND_IMM32 as OPND_CREATE_INT32,

@@ -279,8 +279,7 @@ def _from_code(cls, code, pc, level=0):
         ``level=1`` produces one raw node per instruction; higher levels
         decode further.
         """
-        from repro.isa.decoder import decode_boundary, decode_opcode
-        from repro.isa.opcodes import OP_INFO
+        from repro.isa.decoder import decode_boundary
 
         il = cls()
         if level == 0:

@@ -15,12 +15,11 @@ dense ``switch`` emits a bounds-checked jump table (an indirect jump);
 float-typed arithmetic flows through the FP opcode family.
 """
 
-from repro.asm.builder import CodeBuilder, mem
+from repro.asm.builder import mem
 from repro.isa.opcodes import Opcode
-from repro.isa.operands import ImmOperand, MemOperand, RegOperand
+from repro.isa.operands import ImmOperand, RegOperand
 from repro.isa.registers import Reg
 from repro.minicc import ast
-from repro.minicc.sema import SemaError
 
 DATA_BASE = 0x100000
 

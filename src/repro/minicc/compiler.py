@@ -4,7 +4,6 @@ from repro.asm.builder import CodeBuilder
 from repro.isa.registers import Reg
 from repro.isa.operands import RegOperand
 from repro.loader.process import Layout
-from repro.minicc import ast
 from repro.minicc.codegen import DATA_BASE, CodegenError, FunctionCodegen, _fn_label
 from repro.minicc.lexer import LexError
 from repro.minicc.parser import ParseError, parse

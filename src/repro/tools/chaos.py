@@ -21,7 +21,6 @@ Exit status is non-zero if any run violates the contract.
 """
 
 import argparse
-import sys
 
 from repro.asm import CodeBuilder, mem
 from repro.core import DynamoRIO, RuntimeOptions
@@ -192,6 +191,7 @@ def run_one(image, client_name, fault_kind, seed, closure_engine=True):
     options.client_hook_budget = 200000
     options.cache_consistency = True
     options.verify_fragments = True
+    options.verify_equivalence = True
     options.trace_events = True
     options.trace_buffer = None
     options.closure_engine = closure_engine
@@ -225,6 +225,20 @@ def run_one(image, client_name, fault_kind, seed, closure_engine=True):
             problems.append("expected event %r never fired" % kind)
     if fault_kind != "smc_write" and client.injected == 0:
         problems.append("fault plan never fired")
+    if fault_kind in ("corrupt_instrlist", "cache_poison") and client.injected:
+        # drequiv negative control: these faults corrupt instruction
+        # lists semantically, so beyond the guard's dynamic bailout the
+        # equivalence rule must have flagged them *statically* at emit.
+        equiv_errors = [
+            d
+            for d in runtime.verifier_diagnostics
+            if d.is_error and d.rule == "equivalence"
+        ]
+        if not equiv_errors:
+            problems.append(
+                "injected %s was never flagged by the equivalence rule"
+                % fault_kind
+            )
     if problems:
         return False, "; ".join(problems), result
     return True, "ok (%d faults, %d events)" % (

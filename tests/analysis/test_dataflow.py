@@ -11,7 +11,6 @@ from repro.analysis import (
 from repro.ir.instr import Instr, LabelRef
 from repro.ir.instrlist import InstrList
 from repro.ir.create import (
-    INSTR_CREATE_add,
     INSTR_CREATE_call,
     INSTR_CREATE_cmp,
     INSTR_CREATE_jmp,

@@ -1,0 +1,145 @@
+"""Unit tests for the drequiv symbolic evaluator."""
+
+from repro.analysis.symexec import (
+    SymState,
+    add,
+    band,
+    const,
+    flags_add,
+    flags_inc,
+    may_alias,
+    render,
+    shift,
+    step,
+    sub,
+)
+from repro.ir.create import (
+    INSTR_CREATE_add,
+    INSTR_CREATE_and,
+    INSTR_CREATE_inc,
+    INSTR_CREATE_movb,
+    INSTR_CREATE_lea,
+    INSTR_CREATE_pop,
+    INSTR_CREATE_push,
+    OPND_CREATE_INT32,
+    OPND_CREATE_MEM,
+    OPND_CREATE_REG,
+)
+from repro.isa.registers import Reg
+
+EAX = OPND_CREATE_REG(Reg.EAX)
+EBX = OPND_CREATE_REG(Reg.EBX)
+ESP = OPND_CREATE_REG(Reg.ESP)
+
+
+def run(state, *instrs):
+    for instr in instrs:
+        step(state, instr.opcode, instr.explicit_operands())
+    return state
+
+
+class TestCanonicalization:
+    def test_const_folding_wraps(self):
+        assert add(const(0xFFFFFFFF), const(2)) == const(1)
+
+    def test_add_chain_flattens(self):
+        x = ("init", "eax")
+        assert add(add(x, const(4)), const(8)) == add(x, const(12))
+
+    def test_add_zero_is_identity(self):
+        x = ("init", "eax")
+        assert add(x, const(0)) == x
+
+    def test_sub_const_is_add_negated(self):
+        x = ("init", "eax")
+        assert sub(x, const(4)) == add(x, const(0xFFFFFFFC))
+
+    def test_shift_by_zero_is_identity(self):
+        x = ("init", "eax")
+        assert shift("shl", x, const(0)) == x
+        assert shift("shl", x, const(32)) == x  # count masked to 5 bits
+
+    def test_pop_equals_lea_esp_adjustment(self):
+        # The custom-traces client replaces an inlined `ret` with
+        # `lea esp, [esp+4]`; both sides must reach the same esp.
+        a = run(SymState(), INSTR_CREATE_pop(EAX))
+        b = run(
+            SymState(),
+            INSTR_CREATE_lea(EAX, OPND_CREATE_MEM(base=Reg.ESP)),
+            INSTR_CREATE_lea(ESP, OPND_CREATE_MEM(base=Reg.ESP, disp=4)),
+        )
+        assert a.regs[Reg.ESP] == b.regs[Reg.ESP]
+
+
+class TestMemoryLog:
+    def test_store_to_load_forwarding(self):
+        s = SymState()
+        run(s, INSTR_CREATE_push(EBX))
+        loaded = s.load(s.regs[Reg.ESP], 4)
+        assert loaded == ("init", "ebx")
+
+    def test_aliasing_store_bumps_version(self):
+        s = SymState()
+        addr = s.regs[Reg.EAX]
+        v0 = s.load(addr, 4)
+        s.store(s.regs[Reg.EBX], 4, const(1))  # unknown base: may alias
+        v1 = s.load(addr, 4)
+        assert v0 != v1
+
+    def test_disjoint_offsets_forward_past(self):
+        s = SymState()
+        base = s.regs[Reg.EAX]
+        s.store(base, 4, const(7))
+        s.store(add(base, const(8)), 4, const(9))  # provably disjoint
+        assert s.load(base, 4) == const(7)
+
+    def test_may_alias_same_base_overlap(self):
+        base = ("init", "eax")
+        assert may_alias(base, 4, add(base, const(2)), 4)
+        assert not may_alias(base, 4, add(base, const(4)), 4)
+
+    def test_may_alias_different_bases(self):
+        assert may_alias(("init", "eax"), 4, ("init", "ebx"), 4)
+
+
+class TestFlagFormulas:
+    def test_inc_is_add_except_cf(self):
+        # The inc2add client's enabling identity: inc and add-1 agree on
+        # every flag except CF, which inc preserves.
+        a = run(SymState(), INSTR_CREATE_inc(EAX))
+        b = run(SymState(), INSTR_CREATE_add(EAX, OPND_CREATE_INT32(1)))
+        assert a.regs[Reg.EAX] == b.regs[Reg.EAX]
+        for name in ("PF", "AF", "ZF", "SF", "OF"):
+            assert a.flags[name] == b.flags[name]
+        assert a.flags["CF"] == ("initf", "CF")  # preserved
+        assert b.flags["CF"] != ("initf", "CF")  # rewritten
+
+    def test_identical_sequences_identical_flags(self):
+        x = ("init", "eax")
+        fa, fb = SymState().flags, SymState().flags
+        flags_add(fa, x, const(1))
+        flags_add(fb, x, const(1))
+        assert fa == fb
+        fi = SymState().flags
+        flags_inc(fi, x)
+        assert fi != fa  # CF differs: preserved vs rewritten
+
+    def test_logic_zeroes_cf_of(self):
+        s = run(SymState(), INSTR_CREATE_and(EAX, EBX))
+        assert s.flags["CF"] == const(0)
+        assert s.flags["OF"] == const(0)
+        assert s.flags["AF"] == const(0)
+
+    def test_byte_store_masks_value(self):
+        s = SymState()
+        run(s, INSTR_CREATE_movb(OPND_CREATE_MEM(base=Reg.ESP, size=1), EBX))
+        _addr, size, value = s.stores[-1]
+        assert size == 1
+        assert value == band(("init", "ebx"), const(0xFF))
+
+
+class TestRender:
+    def test_render_is_compact(self):
+        s = run(SymState(), INSTR_CREATE_push(EAX), INSTR_CREATE_pop(EBX))
+        text = render(s.regs[Reg.EBX])
+        assert isinstance(text, str) and text

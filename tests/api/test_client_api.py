@@ -5,7 +5,6 @@ import pytest
 from repro.api.client import Client, DEFAULT_TRACE_END
 from repro.api import dr
 from repro.core import RuntimeOptions
-from repro.loader import Process
 from repro.machine.cost import CostModel, Family
 
 from tests.core.conftest import run_under

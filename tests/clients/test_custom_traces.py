@@ -1,7 +1,6 @@
 """Custom trace client tests (paper Section 4.4)."""
 
 from repro.clients import CustomTraces
-from repro.core import RuntimeOptions
 from repro.isa.opcodes import Opcode
 from repro.loader import Process
 from repro.machine.interp import run_native

@@ -1,7 +1,6 @@
 """Adaptive indirect-branch dispatch tests (paper Section 4.3)."""
 
 from repro.clients import IndirectBranchDispatch
-from repro.core import RuntimeOptions
 from repro.loader import Process
 from repro.machine.interp import run_native
 from repro.minicc import compile_source

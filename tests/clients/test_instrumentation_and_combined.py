@@ -6,14 +6,9 @@ from repro.clients import (
     InstructionCounter,
     NullClient,
     OpcodeProfiler,
-    RedundantLoadRemoval,
-    StrengthReduction,
     make_all_optimizations,
 )
 from repro.core import RuntimeOptions
-from repro.loader import Process
-from repro.machine.interp import run_native
-from repro.minicc import compile_source
 
 from tests.core.conftest import run_under
 

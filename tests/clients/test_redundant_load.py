@@ -15,7 +15,7 @@ from repro.ir.create import (
     OPND_CREATE_REG,
 )
 from repro.isa.opcodes import Opcode
-from repro.isa.operands import MemOperand, RegOperand
+from repro.isa.operands import RegOperand
 from repro.isa.registers import Reg
 from repro.loader import Process
 from repro.machine.interp import run_native

@@ -2,10 +2,8 @@
 
 from repro.api.dr import dr_get_log
 from repro.clients import StrengthReduction
-from repro.core import RuntimeOptions
 from repro.ir.instrlist import InstrList
 from repro.ir.create import (
-    INSTR_CREATE_add,
     INSTR_CREATE_cmp,
     INSTR_CREATE_inc,
     INSTR_CREATE_jb,

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.asm import CodeBuilder, mem
+from repro.asm import CodeBuilder
 from repro.core.bb_builder import block_instr_count, build_basic_block
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import Reg

@@ -33,9 +33,7 @@ from repro.ir.create import (
 )
 from repro.isa.registers import Reg
 from repro.machine.cost import CostModel
-from repro.machine.interp import run_native
 from repro.loader import Process
-from repro.minicc import compile_source
 
 from tests.core.conftest import run_under
 

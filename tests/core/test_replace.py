@@ -4,7 +4,6 @@ from repro.api.dr import dr_decode_fragment, dr_replace_fragment
 from repro.api.client import Client
 from repro.core import RuntimeOptions
 from repro.ir.create import INSTR_CREATE_nop
-from repro.isa.opcodes import Opcode
 
 from tests.core.conftest import run_under
 

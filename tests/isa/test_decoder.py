@@ -9,7 +9,7 @@ from repro.isa.decoder import (
 from repro.isa.eflags import EFLAGS_WRITE_ALL, EFLAGS_READ_SF, EFLAGS_READ_OF
 from repro.isa.encoder import encode_instr
 from repro.isa.opcodes import Opcode
-from repro.isa.operands import OPND_REG, OPND_IMM8, OPND_MEM, OPND_PC, MemOperand
+from repro.isa.operands import OPND_REG, OPND_MEM, OPND_PC, MemOperand
 from repro.isa.registers import Reg
 
 

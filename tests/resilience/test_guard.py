@@ -21,8 +21,7 @@ from repro.api.dr import (
     dr_register_event_tracer,
 )
 from repro.clients import StrengthReduction
-from repro.core import DynamoRIO, RuntimeOptions
-from repro.loader import Process
+from repro.core import RuntimeOptions
 from repro.observe import OVERHEAD_KEY
 from repro.resilience import ClientGuard, ClientHalt, HookBudgetExceeded
 from repro.resilience.faultinject import corrupt_instrlist

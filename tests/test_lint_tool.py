@@ -49,9 +49,30 @@ def test_dynamic_inject_exits_nonzero(source_file, capsys):
 
 
 def test_rule_selection(source_file, capsys):
-    # With only the structural rules selected, the injected violation
-    # (a liveness/transparency problem) goes unreported.
-    assert main([source_file, "--inject", "--rules", "linearity,levels"]) == 0
+    # Injection is per-rule: each selected rule gets its own tabulated
+    # violation planted and must flag it (exit 1 = every rule fired).
+    assert main([source_file, "--inject", "--rules", "linearity,levels"]) == 1
+    out = capsys.readouterr().out
+    assert "rule linearity" in out
+    assert "rule levels" in out
+    # ... and unselected rules are not exercised at all.
+    assert "eflags-safety" not in out
+
+
+def test_inject_covers_every_registered_rule(source_file, capsys):
+    # The full negative control plants one violation per registered rule
+    # — equivalence included — and all of them must fire.
+    assert main([source_file, "--inject"]) == 1
+    out = capsys.readouterr().out
+    for rule_id in (
+        "linearity",
+        "levels",
+        "eflags-safety",
+        "scratch-registers",
+        "transparency",
+        "equivalence",
+    ):
+        assert "rule %s" % rule_id in out, rule_id
 
 
 def test_list_rules(capsys):
@@ -63,6 +84,7 @@ def test_list_rules(capsys):
         "eflags-safety",
         "scratch-registers",
         "transparency",
+        "equivalence",
     ):
         assert rule_id in out
 

@@ -1,6 +1,5 @@
 """Smoke tests for the command-line tools."""
 
-import pytest
 
 from repro.tools.disasm import disassemble_image, main as disasm_main
 from repro.tools.run import main as run_main
