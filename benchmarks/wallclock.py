@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Host wall-clock benchmark: closure engine vs tuple engine.
+"""Host wall-clock benchmark: tuple vs closure vs chain engines.
 
-Runs the tier-2 workload sweep through both execution engines of each
+Runs the tier-2 workload sweep through every execution engine of each
 executor — the interpreter (``engine="closure"`` / ``engine="tuple"``)
-and the DynamoRIO runtime (``options.closure_engine``) — timing host
-seconds while asserting the *simulated* results (cycles, instructions,
-output) are bit-identical across engines.  Simulated numbers measure
-the machine being modelled; host seconds measure this Python
-implementation.  Only the latter may change between engines.
+and the DynamoRIO runtime (``options.closure_engine``, plus the chain
+compiler behind ``options.chain_engine``) — timing host seconds while
+asserting the *simulated* results (cycles, instructions, output) are
+bit-identical across engines.  Simulated numbers measure the machine
+being modelled; host seconds measure this Python implementation.  Only
+the latter may change between engines.
 
 Usage::
 
@@ -19,7 +20,9 @@ Usage::
 ``--check`` compares the simulated cycles/instructions of every sweep
 cell against a previously written JSON (host timings are machine-
 dependent and deliberately ignored); any drift exits non-zero.  The
-checked-in ``BENCH_wallclock.json`` doubles as the golden for CI.
+checked-in ``BENCH_wallclock.json`` doubles as the golden for CI;
+``--commit``/``--date`` stamp its ``meta`` block so the artifact
+records which revision produced it.
 """
 
 import argparse
@@ -64,7 +67,8 @@ def _run_once(image, config, kind, engine):
         elapsed = time.perf_counter() - start
     else:
         options = OPTION_FACTORIES[config]()
-        options.closure_engine = engine == "closure"
+        options.closure_engine = engine in ("closure", "chain")
+        options.chain_engine = engine == "chain"
         runtime = DynamoRIO(process, options=options, cost_model=CostModel())
         start = time.perf_counter()
         result = runtime.run()
@@ -82,49 +86,75 @@ def _measure(image, config, kind, engine, repeats):
     return statistics.median(times), result
 
 
+def _simulated(result):
+    return (result.cycles, result.instructions, result.output)
+
+
 def run_sweep(workloads, scale, repeats):
     cells = []
     for name in workloads:
         image = load_benchmark(name, scale)
         for config, kind in CONFIGS:
-            closure_s, closure = _measure(
-                image, config, kind, "closure", repeats
+            # The chain engine only exists above the runtime's closure
+            # tables; interp rows compare closure vs tuple only.
+            engines = (
+                ("closure", "tuple", "chain")
+                if kind == "runtime"
+                else ("closure", "tuple")
             )
-            tuple_s, tuple_ = _measure(image, config, kind, "tuple", repeats)
-            if (closure.cycles, closure.instructions, closure.output) != (
-                tuple_.cycles,
-                tuple_.instructions,
-                tuple_.output,
-            ):
-                raise AssertionError(
-                    "engines diverged on %s/%s: closure=%r tuple=%r"
-                    % (
-                        name,
-                        config,
-                        (closure.cycles, closure.instructions),
-                        (tuple_.cycles, tuple_.instructions),
-                    )
+            timings = {}
+            results = {}
+            for engine in engines:
+                timings[engine], results[engine] = _measure(
+                    image, config, kind, engine, repeats
                 )
-            cells.append(
-                {
-                    "workload": name,
-                    "config": config,
-                    "cycles": closure.cycles,
-                    "instructions": closure.instructions,
-                    "closure_s": round(closure_s, 4),
-                    "tuple_s": round(tuple_s, 4),
-                    "speedup": round(tuple_s / closure_s, 3),
-                }
+            reference = _simulated(results["closure"])
+            for engine in engines:
+                if _simulated(results[engine]) != reference:
+                    raise AssertionError(
+                        "engines diverged on %s/%s: closure=%r %s=%r"
+                        % (
+                            name,
+                            config,
+                            reference[:2],
+                            engine,
+                            _simulated(results[engine])[:2],
+                        )
+                    )
+            closure_s = timings["closure"]
+            tuple_s = timings["tuple"]
+            chain_s = timings.get("chain")
+            cell = {
+                "workload": name,
+                "config": config,
+                "cycles": reference[0],
+                "instructions": reference[1],
+                "closure_s": round(closure_s, 4),
+                "tuple_s": round(tuple_s, 4),
+                "speedup": round(tuple_s / closure_s, 3),
+                "chain_s": None if chain_s is None else round(chain_s, 4),
+                "chain_speedup": (
+                    None if chain_s is None
+                    else round(closure_s / chain_s, 3)
+                ),
+            }
+            cells.append(cell)
+            chain_col = (
+                "  chain %.3fs  %.2fx vs closure"
+                % (chain_s, cell["chain_speedup"])
+                if chain_s is not None
+                else ""
             )
             print(
-                "%-8s %-7s %12d cycles  closure %.3fs  tuple %.3fs  %.2fx"
+                "%-8s %-7s %12d cycles  closure %.3fs  tuple %.3fs  %.2fx%s"
                 % (
                     name,
                     config,
-                    closure.cycles,
+                    reference[0],
                     closure_s,
                     tuple_s,
-                    cells[-1]["speedup"],
+                    cell["speedup"],
+                    chain_col,
                 )
             )
     return cells
@@ -142,9 +172,17 @@ def summarize(cells):
     for config, _kind in CONFIGS:
         speedups = [c["speedup"] for c in cells if c["config"] == config]
         per_config[config] = round(geomean(speedups), 3)
+    chain_speedups = [
+        c["chain_speedup"] for c in cells if c["chain_speedup"] is not None
+    ]
     return {
         "geomean_speedup": round(geomean([c["speedup"] for c in cells]), 3),
         "per_config": per_config,
+        # Chain engine vs the closure engine it stacks on, geomean over
+        # the runtime rows (the chain compiler's acceptance number).
+        "chain_vs_closure": (
+            round(geomean(chain_speedups), 3) if chain_speedups else None
+        ),
     }
 
 
@@ -199,6 +237,16 @@ def main(argv=None):
         metavar="GOLDEN",
         help="fail if simulated cycles/instructions drift from GOLDEN",
     )
+    parser.add_argument(
+        "--commit",
+        default=None,
+        help="revision hash recorded in the report's meta block",
+    )
+    parser.add_argument(
+        "--date",
+        default=None,
+        help="ISO date recorded in the report's meta block",
+    )
     args = parser.parse_args(argv)
 
     workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
@@ -214,14 +262,24 @@ def main(argv=None):
         "python": sys.version.split()[0],
         "results": cells,
         "summary": summary,
+        "meta": {
+            "commit": args.commit,
+            "date": args.date,
+        },
     }
+    chain_txt = (
+        "  chain-vs-closure %.2fx" % summary["chain_vs_closure"]
+        if summary["chain_vs_closure"] is not None
+        else ""
+    )
     print(
-        "geomean speedup: %.2fx  (%s)"
+        "geomean speedup: %.2fx  (%s)%s"
         % (
             summary["geomean_speedup"],
             "  ".join(
                 "%s %.2fx" % (k, v) for k, v in summary["per_config"].items()
             ),
+            chain_txt,
         )
     )
 

@@ -77,27 +77,34 @@ def _compile_target_fetch(operand, mem):
     return fetch
 
 
-def compile_fragment(fragment, runtime):
-    """Compile ``fragment.code`` into step closures; caches the result
-    on ``fragment.compiled`` and returns it."""
-    code = fragment.code
-    exits = fragment.exits
-    mem = runtime.memory
-    system = runtime.system
-    counter = runtime.counter
-    stats = runtime.stats
-    taken_penalty = runtime.cost.taken_branch_penalty
-    write_u32 = mem.write_u32
-    tag = fragment.tag
+# Op kinds the chain compiler may replace with stitched variants.
+EXIT_KINDS = (
+    OP_COND_EXIT,
+    OP_JMP_EXIT,
+    OP_CALL_EXIT,
+    OP_IND_EXIT,
+    OP_IND_CHECK,
+)
 
+
+def plan_fragment(code):
+    """Plan the op-index → step-index mapping, fusing OP_EXEC runs.
+
+    Returns ``(plans, step_of, table_len)``: ``plans`` is a list of
+    ``("run", [op indices])`` / ``("op", op index)`` entries, one per
+    step; ``step_of`` maps op indices (and the one-past-the-end index)
+    to step indices; ``table_len`` counts the trailing fell-through
+    sentinel step.  Shared by :func:`compile_steps` and the chain
+    compiler (which must know a member's table length before any of
+    its stitched steps are built).
+    """
     # Intra-fragment branch targets must begin a step of their own.
     branch_targets = set()
     for op in code:
         if op[0] == OP_LOCAL_BR:
             branch_targets.add(op[2])
 
-    # Plan the op-index -> step-index mapping, fusing OP_EXEC runs.
-    plans = []  # ("run", [op indices]) | ("op", op index)
+    plans = []
     step_of = {}
     n_ops = len(code)
     i = 0
@@ -121,9 +128,47 @@ def compile_fragment(fragment, runtime):
             i += 1
     sentinel_index = len(plans)
     step_of[n_ops] = sentinel_index
+    return plans, step_of, sentinel_index + 1
+
+
+def compile_fragment(fragment, runtime):
+    """Compile ``fragment.code`` into step closures; caches the result
+    on ``fragment.compiled`` and returns it."""
+    compiled = tuple(compile_steps(fragment, runtime))
+    fragment.compiled = compiled
+    return compiled
+
+
+def compile_steps(fragment, runtime, base=0, exit_override=None):
+    """Compile ``fragment.code`` into a list of step closures.
+
+    ``base`` offsets every produced step index — the chain compiler
+    (:mod:`repro.core.chains`) concatenates several fragments' step
+    lists into one flat super-table, so intra-fragment transfers and
+    fall-throughs must address their member's slice of it.
+
+    ``exit_override(op_index, op, nxt)`` may return a replacement step
+    for any exit-kind op (``EXIT_KINDS``); returning ``None`` keeps the
+    generic step.  ``nxt`` is the (base-offset) fall-through step
+    index.  The generic steps are the single source of truth for exit
+    semantics; overrides only exist so chains can stitch linked exits
+    into direct step-index transfers.
+    """
+    code = fragment.code
+    exits = fragment.exits
+    mem = runtime.memory
+    system = runtime.system
+    counter = runtime.counter
+    stats = runtime.stats
+    taken_penalty = runtime.cost.taken_branch_penalty
+    write_u32 = mem.write_u32
+    tag = fragment.tag
+
+    plans, step_of, _table_len = plan_fragment(code)
+    sentinel_index = len(plans)
 
     def next_step(op_index):
-        return step_of.get(op_index, sentinel_index)
+        return step_of.get(op_index, sentinel_index) + base
 
     steps = []
     for plan_kind, payload in plans:
@@ -168,6 +213,12 @@ def compile_fragment(fragment, runtime):
         op = code[op_index]
         kind = op[0]
         nxt = next_step(op_index + 1)
+
+        if exit_override is not None and kind in EXIT_KINDS:
+            custom = exit_override(op_index, op, nxt)
+            if custom is not None:
+                steps.append(custom)
+                continue
 
         if kind == OP_COND_EXIT:
             cond = compile_condition(op[1])
@@ -468,6 +519,4 @@ def compile_fragment(fragment, runtime):
         )
 
     steps.append(fell_through_step)
-    compiled = tuple(steps)
-    fragment.compiled = compiled
-    return compiled
+    return steps

@@ -51,6 +51,8 @@ from repro.observe.events import (
     EV_CLEAN_CALL,
     EV_CONTEXT_SWITCH,
     EV_DISPATCH_CHECK_HIT,
+    EV_IBL_HIT,
+    EV_IBL_MISS,
     EV_INLINE_CHECK_HIT,
 )
 
@@ -78,6 +80,11 @@ class Executor:
         self.instructions = 0
         # Set by closure-compiled exit steps before they return None.
         self._next_fragment = None
+        # Per-run() state mirrored onto the executor so chain boundary
+        # steps (repro.core.chains) see exactly what the run loop sees.
+        self._budget = None
+        self._deadline = None
+        self._profile_enter = None
 
     # ------------------------------------------------------------ exit paths
 
@@ -124,20 +131,37 @@ class Executor:
 
     def _indirect_exit(self, stub, target, cpu, mem, system):
         runtime = self.runtime
-        counter = runtime.counter
         stats = runtime.stats
         observer = runtime.observer
         if runtime.options.link_indirect:
-            counter.cycles += runtime.cost.ibl_lookup
-            fragment = runtime.current_thread.ibl.lookup_counted(
-                target, stats, observer
-            )
+            runtime.counter.cycles += runtime.cost.ibl_lookup
+            # One dict probe; hit/miss accounting is done here, at the
+            # caller, so the table itself stays plumbing-free.
+            fragment = runtime.current_thread.ibl.table.get(target)
             if fragment is not None:
+                stats.ibl_hits += 1
+                if observer is not None:
+                    observer.emit(
+                        EV_IBL_HIT, target, fragment_kind=fragment.kind
+                    )
                 return fragment
+            stats.ibl_misses += 1
+            if observer is not None:
+                observer.emit(EV_IBL_MISS, target)
+        self._ibl_miss(stub, target, cpu, mem, system)
+
+    def _ibl_miss(self, stub, target, cpu, mem, system):
+        """Unresolved indirect branch: run any stub code, charge the
+        context switch, and unwind to the dispatcher.  Always raises
+        CacheExit; shared with the chain compiler's in-step fast path
+        (which has already charged the lookup and counted the miss)."""
+        runtime = self.runtime
+        counter = runtime.counter
         if stub is not None and stub.stub_ops:
             self._run_stub_ops(stub.stub_ops, cpu, mem, system, counter)
         counter.cycles += runtime.cost.context_switch
-        stats.context_switches += 1
+        runtime.stats.context_switches += 1
+        observer = runtime.observer
         if observer is not None:
             observer.emit(
                 EV_CONTEXT_SWITCH,
@@ -169,8 +193,22 @@ class Executor:
         use_closures = runtime.options.closure_engine
         # drtrace profiler: sampled at fragment-pass granularity only
         # (one guard per pass, never per instruction) so the simulated
-        # cycle stream is identical with tracing on or off.
+        # cycle stream is identical with tracing on or off.  Gated on
+        # the observer's profiling hooks, not just the observer, so
+        # event-tracing-only runs pay no per-pass profiler guard.
         observer = runtime.observer
+        profile_enter = observer.profile_enter if observer is not None else None
+        profile_break = observer.profile_break if observer is not None else None
+        # Mirror per-run state for chain boundary steps, which perform
+        # this loop's per-pass bookkeeping inline (repro.core.chains).
+        self._budget = budget
+        self._deadline = deadline
+        self._profile_enter = profile_enter
+        # Chains are a multi-fragment construct: never entered when the
+        # dispatcher needs control back after one fragment.
+        chains = (
+            runtime.chains if (use_closures and not single_step) else None
+        )
 
         try:
             first = True
@@ -195,16 +233,25 @@ class Executor:
                     # thread switch).
                     raise CacheExit(EXIT_DISPATCH, fragment.tag, None)
                 first = False
-                if observer is not None:
-                    observer.profile_enter(fragment, counter.cycles)
+                if profile_enter is not None:
+                    profile_enter(fragment, counter.cycles)
                 counter.cycles += fragment_entry
                 if use_closures:
                     # Step table read once — a fragment replaced
                     # mid-execution keeps running its old steps until
                     # the next exit, like the tuple engine with `code`.
-                    steps = fragment.compiled
-                    if steps is None:
-                        steps = compile_fragment(fragment, runtime)
+                    if chains is not None:
+                        steps = fragment.chain
+                        if steps is None:
+                            steps = chains.note_pass(fragment)
+                            if steps is None:
+                                steps = fragment.compiled
+                                if steps is None:
+                                    steps = compile_fragment(fragment, runtime)
+                    else:
+                        steps = fragment.compiled
+                        if steps is None:
+                            steps = compile_fragment(fragment, runtime)
                     self._next_fragment = None
                     i = 0
                     while i is not None:
@@ -220,8 +267,8 @@ class Executor:
                     raise CacheExit(EXIT_DISPATCH, next_fragment.tag, None)
                 fragment = next_fragment
         except CacheExit as exit_:
-            if observer is not None:
-                observer.profile_break(counter.cycles)
+            if profile_break is not None:
+                profile_break(counter.cycles)
             return exit_.reason, exit_.next_tag, exit_.stub
 
     def _run_ops(self, fragment, thread, cpu, mem, system, counter):

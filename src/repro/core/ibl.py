@@ -6,54 +6,43 @@ greatest source of overhead in DynamoRIO"; its cycle cost is the
 ``ibl_lookup`` parameter of the cost model, charged by the executor on
 every lookup.
 
+The hot path is ``table.get`` — a single dict probe.  Hit/miss
+accounting (stats counters and drtrace events) lives with the callers
+(:meth:`repro.core.execute.Executor._indirect_exit` and the chain
+compiler's in-step fast path), so the lookup itself carries no
+stats/observer plumbing.
+
 Trace heads are deliberately *not* present: entries reaching a trace
 head must come back to the dispatcher so the head's execution counter
 advances (the same reason trace heads stay unlinked).
 """
 
-from repro.observe.events import EV_IBL_HIT, EV_IBL_MISS
-
 
 class IndirectBranchTable:
-    """tag → Fragment map with hit/miss accounting hooks."""
+    """tag → Fragment map; ``table`` is the raw probe surface."""
 
     def __init__(self):
-        self._table = {}
+        self.table = {}
 
     def lookup(self, tag):
-        return self._table.get(tag)
-
-    def lookup_counted(self, tag, stats, observer=None):
-        """The executor's accounted lookup: bumps the hit/miss counters
-        and, when tracing is enabled, emits the matching drtrace event.
-        Returns the fragment or ``None``."""
-        fragment = self._table.get(tag)
-        if fragment is not None:
-            stats.ibl_hits += 1
-            if observer is not None:
-                observer.emit(EV_IBL_HIT, tag, fragment_kind=fragment.kind)
-            return fragment
-        stats.ibl_misses += 1
-        if observer is not None:
-            observer.emit(EV_IBL_MISS, tag)
-        return None
+        return self.table.get(tag)
 
     def insert(self, fragment):
-        self._table[fragment.tag] = fragment
+        self.table[fragment.tag] = fragment
 
     def remove(self, fragment):
-        existing = self._table.get(fragment.tag)
+        existing = self.table.get(fragment.tag)
         if existing is fragment:
-            del self._table[fragment.tag]
+            del self.table[fragment.tag]
 
     def remove_tag(self, tag):
-        self._table.pop(tag, None)
+        self.table.pop(tag, None)
 
     def clear(self):
-        self._table.clear()
+        self.table.clear()
 
     def __len__(self):
-        return len(self._table)
+        return len(self.table)
 
     def __contains__(self, tag):
-        return tag in self._table
+        return tag in self.table

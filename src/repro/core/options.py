@@ -23,8 +23,12 @@ class RuntimeOptions:
         verify_fragments=False,
         verify_equivalence=False,
         closure_engine=True,
+        chain_engine=False,
+        chain_threshold=20,
+        chain_max_fragments=16,
         trace_events=False,
         trace_buffer=65536,
+        profile_fragments=True,
         guard_clients=False,
         client_fault_limit=3,
         client_hook_budget=None,
@@ -66,6 +70,18 @@ class RuntimeOptions:
         # produce bit-identical simulated results; only host wall-clock
         # time differs.
         self.closure_engine = closure_engine
+        # Chain compiler ("second-tier JIT", repro.core.chains): after
+        # chain_threshold executions, a fragment whose direct exits are
+        # linked is stitched together with its linked successors into
+        # one flat step super-table — hot linked chains then run
+        # without returning to Executor.run between fragments, and
+        # indirect branches resolve through an in-step IBL fast path.
+        # Wall-clock only: simulated cycles, stats, and events are
+        # bit-identical to both existing engines.  Requires
+        # closure_engine; off by default.
+        self.chain_engine = chain_engine
+        self.chain_threshold = chain_threshold
+        self.chain_max_fragments = chain_max_fragments
         # Observability (repro.observe): record typed runtime events
         # and per-fragment cycle attribution.  Off by default — the
         # runtime's observer is None and every emit site is a single
@@ -74,6 +90,12 @@ class RuntimeOptions:
         # Ring-buffer capacity for recorded event detail (aggregate
         # per-kind counts are always exact); None = unbounded.
         self.trace_buffer = trace_buffer
+        # Per-fragment cycle attribution under drtrace.  When False the
+        # observer still records events but its profile_enter/break
+        # hooks are None, so event-tracing-only runs skip the per-pass
+        # profiler samples entirely (wall-clock only; simulated cycles
+        # are identical either way).
+        self.profile_fragments = profile_fragments
         # Resilience (repro.resilience, "drguard").  guard_clients wraps
         # every client hook site in a fault guard: an exception (other
         # than a deliberate ClientHalt) discards the client's transform,

@@ -18,6 +18,7 @@ from repro.core.bb_builder import (
     block_source_span,
     build_basic_block,
 )
+from repro.core.chains import ChainManager
 from repro.core.code_cache import CacheFullError, CodeRegionMap
 from repro.core.emit import emit_fragment
 from repro.core.execute import Executor
@@ -69,7 +70,10 @@ class DynamoRIO:
         # drtrace: None when disabled — every emit site guards on it,
         # so tracing-off runs never construct an Event.
         self.observer = (
-            Observer(self.options.trace_buffer)
+            Observer(
+                self.options.trace_buffer,
+                profile=self.options.profile_fragments,
+            )
             if self.options.trace_events
             else None
         )
@@ -81,6 +85,15 @@ class DynamoRIO:
         self.threads = []
         self.current_thread = self._new_thread(lay)
         self.executor = Executor(self)
+        # Chain compiler ("second-tier JIT", repro.core.chains):
+        # stitches hot linked fragments' step tables into dispatch-free
+        # super-tables.  Wall-clock only — cycles/stats/events stay
+        # bit-identical — and meaningless without the closure engine.
+        self.chains = (
+            ChainManager(self)
+            if (self.options.chain_engine and self.options.closure_engine)
+            else None
+        )
         # drguard: None unless guarding is enabled — every hook site
         # checks the pointer once, exactly like the observer.
         self.guard = (
@@ -248,6 +261,11 @@ class DynamoRIO:
         if thread is None:
             thread = self.current_thread
         fragment.deleted = True
+        # Every deletion path (flush, eviction, SMC invalidation,
+        # client quarantine) funnels through here: demote any chain
+        # whose super-table embeds this fragment.
+        if self.chains is not None:
+            self.chains.invalidate(fragment)
         if self.region_map is not None:
             self.region_map.unregister(fragment)
         thread.ibl.remove(fragment)
@@ -384,6 +402,10 @@ class DynamoRIO:
                     stub.linked_to = None
                     unlinked += 1
             fragment.incoming = []
+            # Chains stitched through those links must not skip the
+            # head's dispatch-side entry counting.
+            if self.chains is not None:
+                self.chains.invalidate(fragment)
             observer = self.observer
             if observer is not None:
                 if unlinked:
@@ -426,6 +448,10 @@ class DynamoRIO:
                 stub.linked_to = None
                 unlinked += 1
         fragment.incoming = []
+        # Chains stitched through those links must not skip the head's
+        # dispatch-side entry counting.
+        if self.chains is not None:
+            self.chains.invalidate(fragment)
         observer = self.observer
         if observer is not None:
             if unlinked:
@@ -518,6 +544,10 @@ class DynamoRIO:
         # Shadow the head bb: redirect its incoming links to the trace.
         head_bb = thread.bb_cache.lookup(recording.head_tag)
         if head_bb is not None:
+            # Chains baked the bb as a stitch target; the re-pointed
+            # links must flow into the trace instead.
+            if self.chains is not None:
+                self.chains.invalidate(head_bb)
             for stub in head_bb.incoming:
                 if stub.linked_to is head_bb:
                     stub.linked_to = fragment
@@ -821,6 +851,10 @@ class DynamoRIO:
                 stub.linked_to = None
                 unlinked += 1
         old.deleted = True
+        # Chains embedding the old version (as root or stitch target)
+        # dissolve; the new fragment re-promotes on its own heat.
+        if self.chains is not None:
+            self.chains.invalidate(old)
         if self.region_map is not None:
             # The replacement covers the same application code.
             new.source_spans = old.source_spans

@@ -1,0 +1,211 @@
+"""Chain compiler: promotion, and demotion at every unlink chokepoint.
+
+The chain engine (``repro.core.chains``) stitches hot linked fragments
+into dispatch-free super-tables.  Each baked transfer assumes its link
+stays up, so every runtime path that tears links down — cache eviction,
+``dr_replace_fragment``, SMC invalidation, client quarantine, trace
+shadowing — must dissolve the chains embedding the touched fragments.
+These tests drive each chokepoint against a *live* chain mid-run and
+assert (a) chains were actually built and then demoted, and (b) the
+run stays bit-identical to the tuple and plain-closure engines — the
+chain tier is wall-clock-only by contract.
+"""
+
+from repro.api.client import Client
+from repro.api.dr import (
+    dr_decode_fragment,
+    dr_insert_clean_call,
+    dr_replace_fragment,
+)
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.ir.create import INSTR_CREATE_nop
+from repro.loader import Process
+from repro.machine.cost import CostModel
+from repro.tools.chaos import build_smc_image
+
+ENGINES = ("tuple", "closure", "chain")
+
+
+def _engine_options(factory, engine, **overrides):
+    options = factory()
+    options.closure_engine = engine in ("closure", "chain")
+    options.chain_engine = engine == "chain"
+    options.chain_threshold = 1  # promote on the first pass
+    for name, value in overrides.items():
+        setattr(options, name, value)
+    return options
+
+
+def _run(image, factory, engine, client=None, **overrides):
+    runtime = DynamoRIO(
+        Process(image),
+        options=_engine_options(factory, engine, **overrides),
+        client=client() if client is not None else None,
+        cost_model=CostModel(),
+    )
+    result = runtime.run()
+    return runtime, result
+
+
+def _result_key(result):
+    return (
+        result.cycles,
+        result.instructions,
+        result.output,
+        result.exit_code,
+        result.events,
+    )
+
+
+def _assert_engine_differential(image, factory, client=None, **overrides):
+    """All three engines produce bit-identical results; returns the
+    chain run's (runtime, result) for scenario-specific assertions."""
+    runs = {
+        engine: _run(image, factory, engine, client=client, **overrides)
+        for engine in ENGINES
+    }
+    reference = _result_key(runs["tuple"][1])
+    assert _result_key(runs["closure"][1]) == reference
+    assert _result_key(runs["chain"][1]) == reference
+    return runs["chain"]
+
+
+def _chain_report(runtime):
+    assert runtime.chains is not None
+    return runtime.chains.report()
+
+
+# ------------------------------------------------------------- promotion
+
+def test_chains_promote_only_at_threshold(loop_image):
+    runtime, _ = _run(
+        loop_image, RuntimeOptions.with_indirect_links, "chain",
+        chain_threshold=10_000_000,
+    )
+    assert _chain_report(runtime)["chains_built"] == 0
+
+    runtime, _ = _run(loop_image, RuntimeOptions.with_indirect_links, "chain")
+    assert _chain_report(runtime)["chains_built"] > 0
+
+
+def test_chain_manager_absent_off_chain_engines(loop_image):
+    for engine in ("tuple", "closure"):
+        runtime, _ = _run(loop_image, RuntimeOptions.with_traces, engine)
+        assert runtime.chains is None
+
+
+# -------------------------------------------------- eviction chokepoint
+
+def test_eviction_demotes_live_chains(loop_image, loop_native):
+    """A tiny code cache keeps flushing fragments out from under their
+    chains; every flush must dissolve the embedding chains."""
+    runtime, result = _assert_engine_differential(
+        loop_image, RuntimeOptions.with_traces,
+        code_cache_limit=700, trace_threshold=5,
+    )
+    assert result.events["cache_evictions"] >= 1
+    report = _chain_report(runtime)
+    assert report["chains_built"] >= 1
+    assert report["chains_invalidated"] >= 1
+    assert result.output == loop_native.output
+    assert result.exit_code == loop_native.exit_code
+
+
+# ----------------------------------------------- replacement chokepoint
+
+class _ChurningClient(Client):
+    """Replaces every fragment it sees from a clean call inside it —
+    replacement lands while the fragment's chain is live."""
+
+    def __init__(self):
+        super().__init__()
+        self.replaced = set()
+        self.replacements = 0
+
+    def _hook(self, context, tag, ilist):
+        def replace_self(ctx, _tag=tag):
+            if _tag in self.replaced:
+                return
+            il = dr_decode_fragment(ctx, _tag)
+            if il is None:
+                return
+            il.prepend(INSTR_CREATE_nop())
+            if dr_replace_fragment(ctx, _tag, il):
+                self.replaced.add(_tag)
+                self.replacements += 1
+
+        dr_insert_clean_call(ilist, ilist.first(), replace_self)
+
+    basic_block = _hook
+    trace = _hook
+
+    def fragment_deleted(self, context, tag):
+        self.replaced.discard(tag)
+
+
+def test_replace_fragment_demotes_live_chains(loop_image, loop_native):
+    runtime, result = _assert_engine_differential(
+        loop_image, RuntimeOptions.with_traces, client=_ChurningClient,
+        trace_threshold=5,
+    )
+    assert result.events["fragments_replaced"] >= 1
+    report = _chain_report(runtime)
+    assert report["chains_built"] >= 1
+    assert report["chains_invalidated"] >= 1
+    assert result.output == loop_native.output
+
+
+# ------------------------------------------------------- SMC chokepoint
+
+def test_smc_invalidation_demotes_live_chains():
+    """The self-modifying workload patches a block that hot chains have
+    stitched; the write-watch delete must demote them so the rebuilt
+    code (emitting 'B') executes instead of the stale chain."""
+    image = build_smc_image()
+    runtime, result = _assert_engine_differential(
+        image, RuntimeOptions.with_traces,
+        cache_consistency=True, trace_threshold=3,
+    )
+    assert runtime.stats.smc_invalidations >= 1
+    report = _chain_report(runtime)
+    assert report["chains_built"] >= 1
+    assert report["chains_invalidated"] >= 1
+    # Transparency through the patch: stale chains would keep printing 'A'.
+    assert result.output == b"A" * 7 + b"B" * 5
+
+
+# ------------------------------------------------ quarantine chokepoint
+
+def test_client_quarantine_demotes_live_chains(loop_image, loop_native):
+    """Guard quarantine flushes every cache (OSR-style bailout); the
+    flush funnels through fragment deletion and must take all live
+    chains down with it."""
+    from repro.resilience.faultinject import FaultInjectingClient, FaultPlan
+
+    def client():
+        return FaultInjectingClient(FaultPlan("raise_in_hook", 0))
+
+    runtime, result = _assert_engine_differential(
+        loop_image, RuntimeOptions.with_traces, client=client,
+        guard_clients=True, trace_threshold=5,
+    )
+    assert runtime.stats.client_faults >= 1
+    report = _chain_report(runtime)
+    assert report["chains_built"] >= 1
+    assert report["chains_invalidated"] >= 1
+    assert result.output == loop_native.output
+
+
+# -------------------------------------------- trace-shadowing chokepoint
+
+def test_trace_creation_demotes_bb_chains(loop_image):
+    """With chains promoting faster than traces build, the hot loop's
+    bb chain is live when its head gets promoted and later shadowed by
+    a trace — both funnel through chain invalidation."""
+    runtime, result = _assert_engine_differential(
+        loop_image, RuntimeOptions.with_traces, trace_threshold=20,
+    )
+    assert result.events["traces_built"] >= 1
+    report = _chain_report(runtime)
+    assert report["chains_built"] >= 1
+    assert report["chains_invalidated"] >= 1

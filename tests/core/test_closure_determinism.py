@@ -1,17 +1,22 @@
-"""Closure engine ↔ tuple engine determinism regression.
+"""Engine determinism regression: tuple ↔ closure ↔ chain.
 
-The closure-compiled engines (fragment step tables in
-``repro.core.closures``; the interpreter's pre-bound decode closures)
-must be *bit-identical* to the tuple-dispatch reference paths on every
-simulated observable: cycles, instruction counts, program output, exit
-code, and the full event/stat dictionaries.  Only host wall-clock time
-may differ.
+The compiled engines (fragment step tables in ``repro.core.closures``;
+chain super-tables in ``repro.core.chains``; the interpreter's
+pre-bound decode closures) must be *bit-identical* to the
+tuple-dispatch reference path on every simulated observable: cycles,
+instruction counts, program output, exit code, and the full event/stat
+dictionaries.  Only host wall-clock time may differ.
 
 Each sample client exercises a different lowered-op surface: redundant
 load removal rewrites straight-line exec ops, strength reduction changes
 instruction costs, indirect-branch dispatch emits OP_IND_CHECK chains
 with profilers, and custom traces reshape fragment boundaries.  Signals
 and threads cover the alarm/safe-point and scheduler paths.
+
+The chain engine runs with ``chain_threshold=1`` so even the short test
+workloads promote chains immediately; a dedicated test asserts chains
+really get built (a chain run that never chains would vacuously pass
+the differential).
 """
 
 import pytest
@@ -65,22 +70,40 @@ SOURCES = {
     "signals": SIGNAL_SRC,
 }
 
+# The reference engine plus both compiled tiers; every differential in
+# this module runs all three and asserts pairwise identity.
+ENGINES = ("tuple", "closure", "chain")
+
+
+def _apply_engine(options, engine):
+    options.closure_engine = engine in ("closure", "chain")
+    options.chain_engine = engine == "chain"
+    if engine == "chain":
+        # Promote at the first pass so the short test workloads
+        # actually exercise stitched tables.
+        options.chain_threshold = 1
+    return options
+
 
 @pytest.fixture(scope="module")
 def images():
     return {name: compile_source(src) for name, src in SOURCES.items()}
 
 
-def _run_runtime(image, client_factory, closure_engine):
-    options = RuntimeOptions.with_traces()
-    options.closure_engine = closure_engine
-    runtime = DynamoRIO(
+def _make_runtime(image, client_factory, engine, factory=None):
+    options = _apply_engine(
+        (factory or RuntimeOptions.with_traces)(), engine
+    )
+    return DynamoRIO(
         Process(image),
         options=options,
         client=client_factory(),
         cost_model=CostModel(),
     )
-    return runtime.run()
+
+
+def _run_runtime(image, client_factory, engine):
+    return _make_runtime(image, client_factory, engine).run()
 
 
 def _assert_identical(a, b):
@@ -91,14 +114,31 @@ def _assert_identical(a, b):
     assert a.events == b.events
 
 
+def _assert_all_identical(results):
+    reference = results[0]
+    for other in results[1:]:
+        _assert_identical(reference, other)
+
+
 @pytest.mark.parametrize("client_name", sorted(CLIENTS))
 @pytest.mark.parametrize("source_name", sorted(SOURCES))
 def test_runtime_engines_bit_identical(images, source_name, client_name):
     image = images[source_name]
     factory = CLIENTS[client_name]
-    closure = _run_runtime(image, factory, closure_engine=True)
-    tuple_ = _run_runtime(image, factory, closure_engine=False)
-    _assert_identical(closure, tuple_)
+    _assert_all_identical(
+        [_run_runtime(image, factory, engine) for engine in ENGINES]
+    )
+
+
+def test_chain_runs_actually_chain(images):
+    """The three-engine differentials are only meaningful if the chain
+    runs execute stitched tables; assert chains get built and stay
+    live on the plain loop workload."""
+    runtime = _make_runtime(images["loop"], lambda: None, "chain")
+    runtime.run()
+    report = runtime.chains.report()
+    assert report["chains_built"] > 0
+    assert report["chains_live"] > 0
 
 
 @pytest.mark.parametrize("mode", ["native", "emulation"])
@@ -136,13 +176,13 @@ int main() {
 }
 """
     image = compile_source(src)
-    closure = _run_runtime(image, lambda: None, closure_engine=True)
-    tuple_ = _run_runtime(image, lambda: None, closure_engine=False)
-    _assert_identical(closure, tuple_)
+    _assert_all_identical(
+        [_run_runtime(image, lambda: None, engine) for engine in ENGINES]
+    )
 
 
 def test_ablation_rows_bit_identical(images):
-    """Every Table-1 configuration row agrees across engines."""
+    """Every Table-1 configuration row agrees across all engines."""
     image = images["loop"]
     for factory in (
         RuntimeOptions.bb_cache_only,
@@ -150,23 +190,19 @@ def test_ablation_rows_bit_identical(images):
         RuntimeOptions.with_indirect_links,
         RuntimeOptions.with_traces,
     ):
-        options_a = factory()
-        options_a.closure_engine = True
-        options_b = factory()
-        options_b.closure_engine = False
-        a = DynamoRIO(Process(image), options=options_a,
-                      cost_model=CostModel()).run()
-        b = DynamoRIO(Process(image), options=options_b,
-                      cost_model=CostModel()).run()
-        _assert_identical(a, b)
+        _assert_all_identical(
+            [
+                _make_runtime(image, lambda: None, engine, factory).run()
+                for engine in ENGINES
+            ]
+        )
 
 
 # --------------------------------------------------- drtrace differential
 
-def _run_traced(image, client_factory, closure_engine):
+def _run_traced(image, client_factory, engine):
     """Run with drtrace on (unbounded ring) and return (runtime, result)."""
-    options = RuntimeOptions.with_traces()
-    options.closure_engine = closure_engine
+    options = _apply_engine(RuntimeOptions.with_traces(), engine)
     options.trace_events = True
     options.trace_buffer = None
     runtime = DynamoRIO(
@@ -183,28 +219,31 @@ def _stream(runtime):
     return [(e.kind, e.tag, e.data) for e in runtime.observer.events()]
 
 
-def _check_traced_pair(image, factory):
+def _check_traced_group(image, factory):
     from repro.observe import replay_stats
 
-    rt_c, res_c = _run_traced(image, factory, closure_engine=True)
-    rt_t, res_t = _run_traced(image, factory, closure_engine=False)
-    _assert_identical(res_c, res_t)
+    runs = [_run_traced(image, factory, engine) for engine in ENGINES]
+    _assert_all_identical([res for _, res in runs])
 
     # Replaying the event stream reconstructs every RuntimeStats counter
-    # exactly, for both engines.
-    for rt in (rt_c, rt_t):
+    # exactly, for all engines.
+    for rt, _ in runs:
         assert rt.observer.dropped == 0
         assert replay_stats(rt.observer.events()) == rt.stats.as_dict()
 
     # The streams themselves are identical event by event.
-    assert _stream(rt_c) == _stream(rt_t)
+    streams = [_stream(rt) for rt, _ in runs]
+    for other in streams[1:]:
+        assert streams[0] == other
 
-    # Tracing must not perturb the simulated machine: a tracing-off run
-    # of the closure engine lands on the same cycles/output.
-    plain = _run_runtime(image, factory, closure_engine=True)
-    assert plain.cycles == res_c.cycles
-    assert plain.instructions == res_c.instructions
-    assert plain.output == res_c.output
+    # Tracing must not perturb the simulated machine: tracing-off runs
+    # of the compiled engines land on the same cycles/output.
+    reference = runs[0][1]
+    for engine in ("closure", "chain"):
+        plain = _run_runtime(image, factory, engine)
+        assert plain.cycles == reference.cycles
+        assert plain.instructions == reference.instructions
+        assert plain.output == reference.output
 
 
 @pytest.mark.parametrize("client_name", ["none", "indirect_dispatch"])
@@ -212,24 +251,23 @@ def _check_traced_pair(image, factory):
 def test_traced_runs_replay_stats_and_match_engines(
     images, source_name, client_name
 ):
-    _check_traced_pair(images[source_name], CLIENTS[client_name])
+    _check_traced_group(images[source_name], CLIENTS[client_name])
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("client_name", sorted(CLIENTS))
 @pytest.mark.parametrize("source_name", sorted(SOURCES))
 def test_traced_runs_full_matrix(images, source_name, client_name):
-    _check_traced_pair(images[source_name], CLIENTS[client_name])
+    _check_traced_group(images[source_name], CLIENTS[client_name])
 
 
 # ----------------------------------------------- drguard fault determinism
 
-def _run_faulted(image, fault_kind, seed, closure_engine):
+def _run_faulted(image, fault_kind, seed, engine):
     """A guarded run with a seeded fault-injecting client."""
     from repro.resilience.faultinject import FaultInjectingClient, FaultPlan
 
-    options = RuntimeOptions.with_traces()
-    options.closure_engine = closure_engine
+    options = _apply_engine(RuntimeOptions.with_traces(), engine)
     options.guard_clients = True
     options.cache_consistency = True
     options.trace_events = True
@@ -251,10 +289,18 @@ def _run_faulted(image, fault_kind, seed, closure_engine):
 def test_faulted_runs_bit_identical_across_engines(images, fault_kind, seed):
     """Injected client faults — and the guard's recovery from them —
     are deterministic: the same fault plan produces the same faults,
-    bailouts, cycles, and event stream on both engines."""
-    rt_c, res_c = _run_faulted(images["loop"], fault_kind, seed, True)
-    rt_t, res_t = _run_faulted(images["loop"], fault_kind, seed, False)
-    _assert_identical(res_c, res_t)
-    assert rt_c.stats.client_faults == rt_t.stats.client_faults > 0
-    assert rt_c.stats.fragment_bailouts == rt_t.stats.fragment_bailouts
-    assert _stream(rt_c) == _stream(rt_t)
+    bailouts, cycles, and event stream on every engine, including the
+    chain engine whose stitched tables the bailout flush dissolves."""
+    runs = [
+        _run_faulted(images["loop"], fault_kind, seed, engine)
+        for engine in ENGINES
+    ]
+    _assert_all_identical([res for _, res in runs])
+    reference = runs[0][0]
+    assert reference.stats.client_faults > 0
+    for rt, _ in runs[1:]:
+        assert rt.stats.client_faults == reference.stats.client_faults
+        assert rt.stats.fragment_bailouts == reference.stats.fragment_bailouts
+    streams = [_stream(rt) for rt, _ in runs]
+    for other in streams[1:]:
+        assert streams[0] == other
