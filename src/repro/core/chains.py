@@ -424,6 +424,46 @@ class ChainManager:
             "chains_live": self.built - self.dissolved,
         }
 
+    def check_integrity(self):
+        """Debug invariant sweep over every live chain (used by the
+        cache-pressure fuzz tests): no live chain may embed a deleted
+        fragment, every member's ``chains_in`` back-pointer must reach
+        its record, and every record a fragment points at must list it
+        as a member.  Returns a list of violation strings (empty =
+        clean)."""
+        problems = []
+        seen = set()
+        for thread in self.runtime.threads:
+            for cache in (thread.bb_cache, thread.trace_cache):
+                if id(cache) in seen:
+                    continue
+                seen.add(id(cache))
+                for fragment in cache.fragments.values():
+                    for record in fragment.chains_in:
+                        if record.dead:
+                            problems.append(
+                                "0x%x: chains_in holds a dead record"
+                                % fragment.tag
+                            )
+                            continue
+                        if fragment not in record.members:
+                            problems.append(
+                                "0x%x: back-pointer to a chain that does "
+                                "not list it" % fragment.tag
+                            )
+                        for member in record.members:
+                            if member.deleted:
+                                problems.append(
+                                    "chain rooted at 0x%x embeds deleted "
+                                    "0x%x" % (record.root.tag, member.tag)
+                                )
+                        if record.root.chain is not record.table:
+                            problems.append(
+                                "chain rooted at 0x%x live but not "
+                                "installed" % record.root.tag
+                            )
+        return problems
+
     # ---------------------------------------------------------------- building
 
     def _build(self, root):

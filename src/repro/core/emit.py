@@ -318,6 +318,15 @@ def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=Non
         compile_fragment(fragment, runtime)
         observer = runtime.observer
         if observer is not None:
+            # regen: this tag was evicted from its unit under capacity
+            # pressure and is now being rebuilt — the retranslation
+            # churn the fifo/adaptive policies exist to reduce.
+            thread = runtime.current_thread
+            unit = (
+                thread.trace_cache
+                if kind == Fragment.KIND_TRACE
+                else thread.bb_cache
+            )
             observer.emit(
                 EV_FRAGMENT_EMIT,
                 tag,
@@ -326,6 +335,7 @@ def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=Non
                 size=fragment.size,
                 ops=len(fragment.code),
                 exits=len(exits),
+                regen=unit.was_evicted(tag),
             )
     return fragment
 

@@ -33,6 +33,10 @@ class RuntimeOptions:
         client_fault_limit=3,
         client_hook_budget=None,
         cache_consistency=False,
+        cache_evict_policy="flush",
+        cache_adaptive=False,
+        cache_regen_threshold=0.5,
+        cache_grow_factor=2.0,
     ):
         # Table 1 mechanisms, cumulative.
         self.bb_cache = bb_cache
@@ -46,6 +50,24 @@ class RuntimeOptions:
         # Cache organization.
         self.thread_private = thread_private
         self.code_cache_limit = code_cache_limit  # bytes, None = unlimited
+        # Capacity policy (paper Section 6).  "flush" drops the whole
+        # unit when it fills (DELI's fallback; the historical default,
+        # bit-identical to pre-policy behavior).  "fifo" evicts single
+        # fragments in allocation order with empty-slot reuse —
+        # DynamoRIO's own scheme; strictly fewer retranslations under
+        # pressure, simulated results otherwise unchanged for runs that
+        # never hit the limit.
+        self.cache_evict_policy = cache_evict_policy
+        # Adaptive working-set sizing (Section 6.1): treat
+        # code_cache_limit as the *initial* size, monitor the
+        # regenerated-vs-replaced ratio over each resize epoch
+        # (code_cache.RESIZE_EPOCH evictions), and grow the pressured
+        # unit by cache_grow_factor whenever the ratio exceeds
+        # cache_regen_threshold — the cache sizes itself to the
+        # application's working set instead of thrashing.
+        self.cache_adaptive = cache_adaptive
+        self.cache_regen_threshold = cache_regen_threshold
+        self.cache_grow_factor = cache_grow_factor
         # Sideline optimization (the paper's Section 3.4 future work):
         # trace construction and client trace processing run on an idle
         # processor, so their cycles leave the application's critical

@@ -39,7 +39,9 @@ from repro.machine.errors import ProgramExit
 from repro.machine.interp import DEFAULT_MAX_INSTRUCTIONS, Interpreter, RunResult
 from repro.machine.system import System, ThreadExit, push_signal_frame
 from repro.observe.events import (
+    EV_CACHE_EVICT,
     EV_CACHE_EVICTION,
+    EV_CACHE_RESIZE,
     EV_CLIENT_HOOK,
     EV_FRAGMENT_DELETE,
     EV_FRAGMENT_LINK,
@@ -220,38 +222,109 @@ class DynamoRIO:
             thread.ibl.insert(fragment)
         return fragment
 
-    def _place(self, cache, fragment):
+    def _place(self, cache, fragment, thread=None):
         try:
             cache.allocate(fragment)
         except CacheFullError:
-            observer = self.observer
-            if observer is not None:
-                occ = cache.occupancy()
-                observer.emit(
-                    EV_CACHE_EVICTION,
-                    fragment.tag,
-                    unit=occ["unit"],
-                    used=occ["used"],
-                    limit=occ["limit"],
-                    dropped=occ["fragments"],
-                    incoming_size=fragment.size,
-                )
-            self._flush_cache(cache)
-            self.stats.cache_evictions += 1
-            # The flush may have deleted blocks referenced by an
+            if cache.policy == "fifo":
+                self._evict_fifo(cache, fragment, thread)
+            else:
+                observer = self.observer
+                if observer is not None:
+                    occ = cache.occupancy()
+                    observer.emit(
+                        EV_CACHE_EVICTION,
+                        fragment.tag,
+                        unit=occ["unit"],
+                        used=occ["used"],
+                        limit=occ["limit"],
+                        dropped=occ["fragments"],
+                        incoming_size=fragment.size,
+                    )
+                for victim in cache.flush():
+                    # Capacity churn accounting (feeds adaptive sizing;
+                    # the quarantine flush deliberately does not count).
+                    cache.record_eviction(victim)
+                    self._delete_fragment(victim, from_cache=False,
+                                          thread=thread)
+                self.stats.cache_evictions += 1
+            # Evictions may have deleted blocks referenced by an
             # in-progress trace recording; finalizing such a recording
             # would stitch deleted fragments — and, once unregistered
             # from the region map, a later store into their source
             # ranges could no longer squash the recording, so the trace
             # would stitch stale code.  Abandon it (the head re-counts
             # and the trace rebuilds from live blocks).
-            for thread in self.threads:
-                recording = thread.trace_in_progress
-                if recording is not None and any(
-                    entry.deleted for entry in recording.entries
-                ):
-                    thread.trace_in_progress = None
+            self._squash_stale_recordings()
             cache.allocate(fragment)
+            self._check_cache_resize(cache)
+
+    def _evict_fifo(self, cache, fragment, thread=None):
+        """Capacity pressure under ``cache_evict_policy="fifo"``: evict
+        resident fragments one at a time in allocation order — through
+        the full delete chokepoint (unlink, chain dissolution, region-
+        map deregistration, IBL removal, ``fragment_deleted`` hook) —
+        until the incoming fragment fits.  If nothing can make it fit
+        (fragment larger than the unit) the cache drains to empty and
+        the empty-cache rule accepts it as the sole resident."""
+        observer = self.observer
+        if observer is not None:
+            occ = cache.occupancy()
+            observer.emit(
+                EV_CACHE_EVICTION,
+                fragment.tag,
+                unit=occ["unit"],
+                used=occ["used"],
+                limit=occ["limit"],
+                policy="fifo",
+                incoming_size=fragment.size,
+            )
+        self.stats.cache_evictions += 1
+        size = fragment.size
+        while not cache.can_fit(size):
+            victim = cache.next_eviction()
+            if victim is None:
+                break
+            if observer is not None:
+                observer.emit(
+                    EV_CACHE_EVICT,
+                    victim.tag,
+                    unit=cache.name,
+                    kind=victim.kind,
+                    size=victim.size,
+                    incoming=fragment.tag,
+                )
+            cache.record_eviction(victim)
+            self.stats.cache_fragment_evictions += 1
+            self._delete_fragment(victim, thread=thread)
+
+    def _squash_stale_recordings(self):
+        """Abandon any in-progress trace recording that references a
+        deleted fragment (stitching it would bake stale code)."""
+        for thread in self.threads:
+            recording = thread.trace_in_progress
+            if recording is not None and any(
+                entry.deleted for entry in recording.entries
+            ):
+                thread.trace_in_progress = None
+
+    def _check_cache_resize(self, cache):
+        """Adaptive sizing tick after capacity pressure: grow the unit
+        when this resize epoch's regenerated-vs-replaced ratio exceeds
+        ``options.cache_regen_threshold`` (Section 6.1)."""
+        grew = cache.check_resize()
+        if grew is None:
+            return
+        self.stats.cache_resizes += 1
+        if self.observer is not None:
+            self.observer.emit(
+                EV_CACHE_RESIZE,
+                None,
+                unit=cache.name,
+                old_limit=grew[0],
+                new_limit=grew[1],
+                fragments=len(cache.fragments),
+            )
 
     def _flush_cache(self, cache, thread=None):
         for fragment in cache.flush():
@@ -336,12 +409,7 @@ class DynamoRIO:
         for fragment, thread in hits:
             if not fragment.deleted:
                 self._delete_fragment(fragment, thread=thread)
-        for thread in self.threads:
-            recording = thread.trace_in_progress
-            if recording is not None and any(
-                entry.deleted for entry in recording.entries
-            ):
-                thread.trace_in_progress = None
+        self._squash_stale_recordings()
 
     # ------------------------------------------------------------- quarantine
 
@@ -830,7 +898,7 @@ class DynamoRIO:
         new.generation = old.generation + 1
         cache = thread.trace_cache if old.is_trace else thread.bb_cache
         cache.remove(old)
-        self._place(cache, new)
+        self._place(cache, new, thread=thread)
         thread.ibl.remove(old)
         if not (new.is_trace_head and not new.is_trace):
             thread.ibl.insert(new)

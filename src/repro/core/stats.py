@@ -29,6 +29,8 @@ class RuntimeStats:
         "client_bb_hooks",
         "client_trace_hooks",
         "cache_evictions",
+        "cache_fragment_evictions",
+        "cache_resizes",
         "client_faults",
         "client_quarantines",
         "fragment_bailouts",

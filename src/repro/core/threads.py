@@ -8,7 +8,7 @@ the thread's CPU state; the shared-cache mode exists for the ablation
 experiment.
 """
 
-from repro.core.code_cache import CacheUnit
+from repro.core.code_cache import ADAPTIVE_INITIAL_LIMIT, CacheUnit
 from repro.core.ibl import IndirectBranchTable
 from repro.machine.cpu import CPU
 
@@ -32,10 +32,34 @@ class ThreadContext:
             self.trace_cache = share_from.trace_cache
             self.ibl = share_from.ibl
         else:
+            opts = runtime.options
             half = None if cache_limit is None else cache_limit // 2
-            self.bb_cache = CacheUnit("bb", cache_base, half)
+            if opts.cache_adaptive and half is None:
+                # Adaptive with no explicit limit: start small and let
+                # the resize heuristic grow toward the working set.
+                half = ADAPTIVE_INITIAL_LIMIT
+            if opts.cache_adaptive:
+                # Limits grow at runtime, so give the trace unit a
+                # fixed offset inside this thread's cache stripe
+                # instead of stacking it right above the bb unit.
+                # (cache_addr is symbolic bookkeeping, never
+                # dereferenced — this only keeps dumps readable.)
+                trace_base = cache_base + 0x80000
+            else:
+                trace_base = cache_base + (half or 0x200000)
+            self.bb_cache = CacheUnit(
+                "bb", cache_base, half,
+                policy=opts.cache_evict_policy,
+                adaptive=opts.cache_adaptive,
+                regen_threshold=opts.cache_regen_threshold,
+                grow_factor=opts.cache_grow_factor,
+            )
             self.trace_cache = CacheUnit(
-                "trace", cache_base + (half or 0x200000), half
+                "trace", trace_base, half,
+                policy=opts.cache_evict_policy,
+                adaptive=opts.cache_adaptive,
+                regen_threshold=opts.cache_regen_threshold,
+                grow_factor=opts.cache_grow_factor,
             )
             self.ibl = IndirectBranchTable()
         # Client state (paper Section 3.2: "a generic thread-local

@@ -17,7 +17,9 @@ pointer check — simulated cycles are identical either way.
 
 from repro.observe.events import (
     EVENT_KINDS,
+    EV_CACHE_EVICT,
     EV_CACHE_EVICTION,
+    EV_CACHE_RESIZE,
     EV_CLEAN_CALL,
     EV_CLIENT_FAULT,
     EV_CLIENT_HOOK,
@@ -54,7 +56,9 @@ from repro.observe.sinks import (
 
 __all__ = [
     "EVENT_KINDS",
+    "EV_CACHE_EVICT",
     "EV_CACHE_EVICTION",
+    "EV_CACHE_RESIZE",
     "EV_CLEAN_CALL",
     "EV_CLIENT_FAULT",
     "EV_CLIENT_HOOK",

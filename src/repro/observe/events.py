@@ -35,6 +35,12 @@ EV_IBL_MISS = "ibl_miss"
 EV_INLINE_CHECK_HIT = "inline_check_hit"
 EV_DISPATCH_CHECK_HIT = "dispatch_check_hit"
 EV_CACHE_EVICTION = "cache_eviction"
+# Per-fragment cache management (paper Section 6): a single-fragment
+# FIFO eviction under cache_evict_policy="fifo", and an adaptive
+# working-set resize of one cache unit.  EV_CACHE_EVICTION stays the
+# coarse "unit hit its limit" pressure event under either policy.
+EV_CACHE_EVICT = "cache_evict"
+EV_CACHE_RESIZE = "cache_resize"
 EV_CONTEXT_SWITCH = "context_switch"
 EV_CLEAN_CALL = "clean_call"
 EV_CLIENT_HOOK = "client_hook"
@@ -60,6 +66,8 @@ EVENT_KINDS = (
     EV_INLINE_CHECK_HIT,
     EV_DISPATCH_CHECK_HIT,
     EV_CACHE_EVICTION,
+    EV_CACHE_EVICT,
+    EV_CACHE_RESIZE,
     EV_CONTEXT_SWITCH,
     EV_CLEAN_CALL,
     EV_CLIENT_HOOK,
@@ -91,6 +99,8 @@ STATS_EVENT_MAP = {
     "client_bb_hooks": (EV_CLIENT_HOOK, (("phase", "bb"),)),
     "client_trace_hooks": (EV_CLIENT_HOOK, (("phase", "trace"),)),
     "cache_evictions": (EV_CACHE_EVICTION, ()),
+    "cache_fragment_evictions": (EV_CACHE_EVICT, ()),
+    "cache_resizes": (EV_CACHE_RESIZE, ()),
     "client_faults": (EV_CLIENT_FAULT, ()),
     "client_quarantines": (EV_CLIENT_QUARANTINED, ()),
     "fragment_bailouts": (EV_FRAGMENT_BAILOUT, ()),

@@ -41,6 +41,115 @@ class TestCacheUnit:
         unit.allocate(self._fragment(2, 80))  # fits again
 
 
+class TestCacheUnitFifo:
+    """Free-list allocator mechanics under ``policy="fifo"``."""
+
+    def _fragment(self, tag, size):
+        f = Fragment(tag, Fragment.KIND_BB)
+        f.size = size
+        return f
+
+    def _unit(self, limit=None):
+        return CacheUnit("bb", base=0x1000, limit=limit, policy="fifo")
+
+    def test_hole_reuse_first_fit(self):
+        unit = self._unit()
+        a, b, c = (self._fragment(t, 100) for t in (1, 2, 3))
+        unit.allocate(a), unit.allocate(b), unit.allocate(c)
+        unit.remove(b)
+        assert unit.used() == 200
+        d = self._fragment(4, 60)
+        assert unit.allocate(d) == b.cache_addr  # front of b's hole
+        e = self._fragment(5, 40)
+        assert unit.allocate(e) == b.cache_addr + 60  # rest of the hole
+        assert unit.used() == 300 and unit.free_bytes == 0
+
+    def test_holes_coalesce(self):
+        unit = self._unit()
+        frags = [self._fragment(t, 50) for t in (1, 2, 3, 4)]
+        for f in frags:
+            unit.allocate(f)
+        unit.remove(frags[1])
+        unit.remove(frags[2])  # adjacent: must merge into one hole
+        assert unit.fragmentation() == (100, 1, 100)
+        big = self._fragment(5, 100)
+        assert unit.allocate(big) == frags[1].cache_addr
+
+    def test_trailing_hole_retracts_cursor(self):
+        unit = self._unit(limit=150)
+        a = self._fragment(1, 100)
+        b = self._fragment(2, 50)
+        unit.allocate(a), unit.allocate(b)
+        unit.remove(b)
+        # The freed tail goes back to bump allocation, so a fragment
+        # bigger than the hole still fits within the limit.
+        assert unit.free_bytes == 0 and unit.span() == 100
+        unit.allocate(self._fragment(3, 50))
+
+    def test_next_eviction_walks_allocation_order(self):
+        unit = self._unit()
+        a, b, c = (self._fragment(t, 10) for t in (1, 2, 3))
+        unit.allocate(a), unit.allocate(b), unit.allocate(c)
+        assert unit.next_eviction() is a
+        unit.remove(a)
+        assert unit.next_eviction() is b  # stale entry skipped
+        # A replaced same-tag fragment is stale too: only the live
+        # instance is ever offered for eviction.
+        b2 = self._fragment(2, 10)
+        unit.allocate(b2)
+        unit.remove(b)  # no-op: b is no longer the resident for tag 2
+        assert unit.next_eviction() is c
+        unit.remove(c)
+        assert unit.next_eviction() is b2
+        unit.remove(b2)
+        assert unit.next_eviction() is None
+
+    def test_oversized_into_nonempty_raises(self):
+        """The fragment-larger-than-limit path must go through eviction:
+        a non-empty unit rejects it instead of silently overcommitting
+        via the empty-cache special case."""
+        unit = self._unit(limit=100)
+        unit.allocate(self._fragment(1, 40))
+        with pytest.raises(CacheFullError):
+            unit.allocate(self._fragment(2, 150))
+        # Only once eviction has drained the unit does it become
+        # placeable — as the sole resident, at the unit base.
+        victim = unit.next_eviction()
+        unit.record_eviction(victim)
+        unit.remove(victim)
+        big = self._fragment(2, 150)
+        assert unit.allocate(big) == unit.base
+        assert list(unit.fragments.values()) == [big]
+
+    def test_adaptive_resize_epoch(self):
+        unit = CacheUnit(
+            "bb", base=0, limit=100, policy="fifo",
+            adaptive=True, regen_threshold=0.5, grow_factor=2.0,
+        )
+        from repro.core.code_cache import RESIZE_EPOCH
+
+        # An epoch of evictions where every evicted tag regenerates:
+        # ratio 1.0 > 0.5, the unit must grow by the factor.
+        for i in range(RESIZE_EPOCH):
+            f = self._fragment(i, 10)
+            unit.allocate(f)
+            unit.record_eviction(f)
+            unit.remove(f)
+            g = self._fragment(i, 10)  # the tag comes back: regenerated
+            unit.allocate(g)
+            unit.remove(g)
+        assert unit.check_resize() == (100, 200)
+        assert unit.limit == 200 and unit.resizes == 1
+        # A cold epoch (no regeneration) must not grow the unit.
+        for i in range(100, 100 + RESIZE_EPOCH):
+            f = self._fragment(i, 10)
+            unit.allocate(f)
+            unit.record_eviction(f)
+            unit.remove(f)
+        assert unit.check_resize() is None
+        assert unit.limit == 200
+
+
 class TestCacheEviction:
     def test_tiny_cache_still_transparent(self, loop_image, loop_native):
         opts = RuntimeOptions.with_traces()
@@ -97,6 +206,91 @@ class TestCacheEviction:
         assert first.deleted
         assert runtime.stats.cache_evictions == 1
         assert thread.trace_in_progress is None
+
+    def test_oversized_fragment_drains_unit_through_chokepoint(
+        self, loop_image
+    ):
+        """Placing a fragment bigger than the unit limit into a
+        non-empty fifo unit must evict *every* resident through the
+        delete chokepoint, then accept the oversized fragment as the
+        sole resident at the unit base (regression: the old code
+        rejected it forever because `used() + size > limit` held even
+        after evictions)."""
+        from repro.core import DynamoRIO
+        from repro.loader import Process
+
+        opts = RuntimeOptions.with_traces()
+        opts.cache_evict_policy = "fifo"
+        opts.cache_consistency = True  # populates source_spans
+        runtime = DynamoRIO(Process(loop_image), options=opts)
+        thread = runtime.current_thread
+        cache = thread.bb_cache
+
+        first = runtime._build_bb(loop_image.entry)
+        second = runtime._build_bb(first.source_spans[0][1])
+        cache.limit = cache.used()  # exactly full
+
+        big = Fragment(0xB16, Fragment.KIND_BB)
+        big.size = cache.limit + 1  # larger than the whole unit
+        runtime._place(cache, big, thread=thread)
+
+        assert first.deleted and second.deleted
+        assert runtime.stats.cache_fragment_evictions == 2
+        assert list(cache.fragments.values()) == [big]
+        assert big.cache_addr == cache.base
+        # The victims went through the real chokepoint: deregistered
+        # from the cache-consistency map and no longer resident.
+        assert thread.lookup_fragment(first.tag) is None
+        assert thread.lookup_fragment(second.tag) is None
+
+    def test_block_larger_than_limit_end_to_end(self):
+        """A program whose straight-line block exceeds the per-unit
+        limit still runs transparently under fifo on every engine: the
+        eviction loop drains the unit and the empty-cache rule accepts
+        the block as sole resident."""
+        from repro.core import DynamoRIO
+        from repro.loader import Process
+        from repro.machine.interp import run_native
+        from repro.minicc import compile_source
+
+        source = (
+            "int acc;\n"
+            "int main() {\n"
+            "    int i;\n"
+            "    acc = 0;\n"
+            "    for (i = 0; i < 40; i++) { acc = acc + i; }\n"
+            + "    acc = acc + 1;\n" * 120
+            + "    print(acc);\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        image = compile_source(source)
+        native = run_native(Process(image))
+
+        # Probe the biggest fragment, then pin the per-unit limit just
+        # below it so the straight-line block cannot fit a full unit.
+        probe = DynamoRIO(Process(image), options=RuntimeOptions())
+        probe.run()
+        biggest = max(
+            f.size
+            for f in probe.current_thread.bb_cache.fragments.values()
+        )
+
+        reference = None
+        for engine in ("tuple", "closure", "chain"):
+            opts = RuntimeOptions.with_traces()
+            opts.code_cache_limit = 2 * (biggest - 1)
+            opts.cache_evict_policy = "fifo"
+            opts.closure_engine = engine in ("closure", "chain")
+            opts.chain_engine = engine == "chain"
+            _dr, result = run_under(image, opts)
+            assert result.output == native.output
+            assert result.exit_code == native.exit_code
+            assert result.events["cache_fragment_evictions"] > 0
+            key = (result.cycles, result.instructions, result.output)
+            if reference is None:
+                reference = key
+            assert key == reference
 
     def test_fragment_deleted_hook_fires(self, loop_image):
         deleted = []

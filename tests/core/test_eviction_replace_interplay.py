@@ -61,9 +61,10 @@ class _ChurningClient(Client):
         self.replaced.discard(tag)
 
 
-def _churn_options(closure_engine):
+def _churn_options(closure_engine, policy="flush"):
     opts = RuntimeOptions.with_traces()
-    opts.code_cache_limit = 700  # constant flushing (test_cache_and_stubs)
+    opts.code_cache_limit = 700  # constant pressure (test_cache_and_stubs)
+    opts.cache_evict_policy = policy
     opts.trace_threshold = 5
     opts.closure_engine = closure_engine
     opts.trace_events = True
@@ -71,20 +72,25 @@ def _churn_options(closure_engine):
     return opts
 
 
+@pytest.mark.parametrize("policy", ["flush", "fifo"])
 @pytest.mark.parametrize("closure_engine", [True, False])
 def test_eviction_during_replacement_stays_transparent(
-    loop_image, loop_native, closure_engine
+    loop_image, loop_native, closure_engine, policy
 ):
     client = _ChurningClient()
     dr, result = run_under(
-        loop_image, _churn_options(closure_engine), client=client
+        loop_image, _churn_options(closure_engine, policy), client=client
     )
 
     # The interplay actually happened: fragments were replaced AND the
-    # cache flushed out fragments (including replaced ones) mid-run.
+    # cache evicted fragments (including replaced ones) mid-run.
     assert client.replacements >= 1
     assert result.events["fragments_replaced"] == client.replacements
     assert result.events["cache_evictions"] >= 1
+    if policy == "fifo":
+        # Per-victim accounting only exists under single-fragment
+        # eviction; a flush drops whole units without it.
+        assert result.events["cache_fragment_evictions"] >= 1
     assert result.events["fragments_deleted"] >= 1
     assert client.deletions == result.events["fragments_deleted"]
     # Tags were re-replaced after eviction rebuilt them.
@@ -102,11 +108,14 @@ def test_eviction_during_replacement_stays_transparent(
     assert replay_stats(observer.events()) == dr.stats.as_dict()
 
 
-def test_no_stale_fragments_remain(loop_image):
+@pytest.mark.parametrize("policy", ["flush", "fifo"])
+def test_no_stale_fragments_remain(loop_image, policy):
     """After the run, every live cache entry is a non-deleted fragment
     and every linked stub points at a live fragment."""
     client = _ChurningClient()
-    dr, _ = run_under(loop_image, _churn_options(True), client=client)
+    dr, _ = run_under(
+        loop_image, _churn_options(True, policy), client=client
+    )
     thread = dr.current_thread
     for cache in (thread.bb_cache, thread.trace_cache):
         for fragment in cache.fragments.values():
@@ -114,3 +123,59 @@ def test_no_stale_fragments_remain(loop_image):
             for stub in fragment.exits:
                 if stub.linked_to is not None:
                     assert not stub.linked_to.deleted
+
+
+@pytest.mark.parametrize("closure_engine", [True, False])
+def test_fifo_eviction_trace_heads_and_replacement(
+    indirect_image, indirect_native, closure_engine
+):
+    """Single-fragment eviction interleaved with trace-head promotion
+    and in-fragment replacement on the indirect workload: hair-trigger
+    tracing means victims are routinely trace heads or trace members,
+    and the churning client re-replaces every rebuild."""
+    client = _ChurningClient()
+    opts = _churn_options(closure_engine, policy="fifo")
+    opts.trace_threshold = 3  # promotions throughout the run
+    dr, result = run_under(indirect_image, opts, client=client)
+
+    assert result.events["traces_built"] >= 1
+    assert result.events["trace_head_counts"] >= 1
+    assert result.events["cache_fragment_evictions"] >= 1
+    assert client.replacements >= 1
+    assert result.events["fragments_replaced"] == client.replacements
+
+    assert result.exit_code == indirect_native.exit_code
+    assert result.output == indirect_native.output
+
+    observer = dr.observer
+    assert observer.dropped == 0
+    assert replay_stats(observer.events()) == dr.stats.as_dict()
+
+
+def test_fifo_eviction_squashes_stale_recording(loop_image):
+    """A FIFO eviction that deletes a block referenced by an
+    in-progress trace recording must abandon the recording — the fifo
+    analogue of the whole-flush squash (test_cache_and_stubs)."""
+    from repro.core import DynamoRIO
+    from repro.core.trace_builder import TraceRecording
+    from repro.loader import Process
+
+    opts = RuntimeOptions.with_traces()
+    opts.cache_evict_policy = "fifo"
+    opts.cache_consistency = True
+    runtime = DynamoRIO(Process(loop_image), options=opts)
+    thread = runtime.current_thread
+
+    first = runtime._build_bb(loop_image.entry)
+    recording = TraceRecording(first.tag)
+    recording.append(first)
+    thread.trace_in_progress = recording
+
+    # Shrink the unit under its occupancy: the next build must evict
+    # `first` (the FIFO front) out from under the recording.
+    thread.bb_cache.limit = thread.bb_cache.used()
+    runtime._build_bb(first.source_spans[0][1])
+
+    assert first.deleted
+    assert runtime.stats.cache_fragment_evictions >= 1
+    assert thread.trace_in_progress is None
