@@ -155,6 +155,12 @@ def dr_register_event_tracer(client_or_context, fn):
             # the emit site it was called from.
             fn = guard.wrap_tracer(fn)
         observer.tracers.append(fn)
+        # Track the registration (as actually installed, wrapper and
+        # all) so detach and quarantine can unregister it — no client
+        # emit site survives either.
+        tracers = getattr(runtime, "_client_tracers", None)
+        if tracers is not None:
+            tracers.append(fn)
     return observer
 
 
@@ -169,6 +175,37 @@ def dr_get_profile(client_or_context, top=None):
     if observer is None:
         return []
     return observer.profiler.hot_fragments(top=top)
+
+
+# ------------------------------------------------------ detach / re-attach
+
+
+def dr_detach(client_or_context, reattach_after=None):
+    """Detach the runtime from the application (paper Section 2's
+    transparent exit).
+
+    At the next application-consistent point — mid-fragment under
+    ``RuntimeOptions(precise_interrupts=True)``, the next fragment
+    boundary otherwise — every thread's state is translated back to
+    pure application state (``repro.core.translate``), the code cache
+    is flushed through the normal delete chokepoint (clients see
+    ``fragment_deleted`` for every fragment), client event tracers are
+    unregistered, and execution continues natively with bit-identical
+    program output.  ``reattach_after`` resumes translated execution
+    after that many native instructions; ``None`` stays native to
+    program exit.  Safe to call from any client hook or clean call.
+    """
+    runtime = getattr(client_or_context, "runtime", client_or_context)
+    runtime.detach(reattach_after=reattach_after)
+
+
+def dr_reattach(client_or_context):
+    """Turn a pending detach into a detach/re-attach bounce (the
+    shortest native excursion), or cancel a scheduled stay-native
+    detach by giving it an immediate re-attach.  No-op when no detach
+    is pending."""
+    runtime = getattr(client_or_context, "runtime", client_or_context)
+    runtime.reattach()
 
 
 # ------------------------------------------------------------- clean calls

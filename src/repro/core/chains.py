@@ -55,6 +55,7 @@ Correctness under mutation rests on two mechanisms:
 import sys
 
 from repro.core.closures import _compile_target_fetch, compile_steps, plan_fragment
+from repro.core.translate import wrap_chain_segment
 from repro.core.emit import (
     CLEAN_CALL_COST,
     OP_CALL_EXIT,
@@ -344,12 +345,16 @@ class _ChainRecord:
     """One built chain: the root whose ``chain`` holds the table, and
     the members whose steps (and link stubs) the table embeds."""
 
-    __slots__ = ("root", "members", "table", "dead")
+    __slots__ = ("root", "members", "table", "bases", "dead")
 
-    def __init__(self, root, members, table):
+    def __init__(self, root, members, table, bases):
         self.root = root
         self.members = members
         self.table = table
+        # Each member's starting index in the super-table, parallel to
+        # ``members`` — the key for translating a super-table step back
+        # to (member, local step) for detach-time state translation.
+        self.bases = bases
         self.dead = False
 
     def __repr__(self):
@@ -414,6 +419,20 @@ class ChainManager:
             except ValueError:
                 pass
         self.dissolved += 1
+
+    def translate_step(self, record, index):
+        """Application PC for interruption at entry to super-table step
+        ``index``: find the owning member's slice and translate through
+        that fragment's table (repro.core.translate)."""
+        members = record.members
+        bases = record.bases
+        for pos in range(len(bases) - 1, -1, -1):
+            if index >= bases[pos]:
+                member = members[pos]
+                if member.translation is not None:
+                    return member.translation.translate_step(index - bases[pos])
+                return member.tag
+        return record.root.tag
 
     def report(self):
         """Build/invalidate telemetry (not part of RunResult.events —
@@ -532,6 +551,7 @@ class ChainManager:
         # unrolled generated-source segments (batched accounting, no
         # per-instruction loop machinery) — the chain tier's in-line
         # speedup on straight-line code.
+        precise = runtime.options.precise_interrupts
         for member, base, (plans, step_of) in zip(members, bases, plans_of):
             code = member.code
             sentinel = len(plans)
@@ -539,12 +559,18 @@ class ChainManager:
                 if plan_kind != "run" or len(payload) < 2:
                     continue
                 nxt = step_of.get(payload[-1] + 1, sentinel) + base
-                table[base + plan_index] = self._compile_segment(
-                    code, payload, nxt
-                )
+                segment = self._compile_segment(code, payload, nxt)
+                if precise:
+                    # The replacement clobbers compile_steps' poll
+                    # wrapper; re-wrap so chains interrupt at the same
+                    # application-consistent points as the other engines.
+                    segment = wrap_chain_segment(
+                        member, runtime, payload[0], segment
+                    )
+                table[base + plan_index] = segment
         table = tuple(table)
 
-        record = _ChainRecord(root, tuple(members), table)
+        record = _ChainRecord(root, tuple(members), table, tuple(bases))
         root.chain = table
         for member in members:
             member.chains_in.append(record)

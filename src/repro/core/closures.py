@@ -511,6 +511,14 @@ def compile_steps(fragment, runtime, base=0, exit_override=None):
         else:
             raise MachineFault("unknown fragment op kind %r" % (kind,))
 
+    if runtime.options.precise_interrupts and fragment.translation is not None:
+        # Wrap the application-consistent steps with the interrupt poll
+        # (repro.core.translate) — after any exit_override so chains'
+        # stitched steps are wrapped uniformly with the generic ones.
+        from repro.core.translate import wrap_poll_steps
+
+        wrap_poll_steps(fragment, runtime, plans, steps)
+
     def fell_through_step(ex, cpu, _tag=tag):
         # Only reachable when a fragment has no terminating exit —
         # fragments are built so this cannot happen.

@@ -309,6 +309,18 @@ def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=Non
     fragment.exits = exits
     fragment.size = size + STUB_SIZE * len(exits)
     fragment.instrs_source = ilist
+    # One source Instr per emitted op, in lowering order: clean-call
+    # pseudo-labels emit one op, other labels emit none, everything else
+    # emits exactly one (mirrors pass 1's op_index accounting).  The
+    # translation table anchors each op back to its application PC.
+    sources = [
+        instr
+        for instr in ilist
+        if _note(instr, "clean_call") is not None or not instr.is_label()
+    ]
+    from repro.core.translate import build_translation
+
+    fragment.translation = build_translation(tag, fragment.code, sources)
     if runtime is not None:
         # Encode into the cache: compile the op tuples to step closures
         # while emission state is hot.  Lazy import — closures needs the

@@ -61,6 +61,10 @@ _MASK32 = 0xFFFFFFFF
 # Exit reasons returned to the dispatcher.
 EXIT_DISPATCH = "dispatch"  # unlinked exit; next_tag + stub
 EXIT_IBL_MISS = "ibl_miss"  # indirect target not in table
+# Mid-fragment interrupt poll fired (options.precise_interrupts): a due
+# alarm or a pending detach unwound at an application-consistent step;
+# next_tag is the *translated* source PC (repro.core.translate).
+EXIT_INTERRUPT = "interrupt"
 
 
 class CacheExit(Exception):
@@ -282,10 +286,33 @@ class Executor:
         regs = cpu.regs
         code = fragment.code
         exits = fragment.exits
+        # Precise interrupts: poll at the same application-consistent
+        # points the closure engine compiles polls into (the fused-run
+        # starts of repro.core.translate) so both engines interrupt at
+        # identical instruction counts.
+        translation = fragment.translation
+        poll_map = (
+            translation.poll_ops
+            if translation is not None
+            and translation.poll_ops
+            and runtime.options.precise_interrupts
+            else None
+        )
         n = len(code)
         i = 0
         next_fragment = None
         while i < n:
+            if poll_map is not None and (
+                system.alarm_active or runtime._detach_pending
+            ):
+                pc = poll_map.get(i)
+                if pc is not None:
+                    system.convert_alarm(self.instructions)
+                    if runtime._detach_pending or (
+                        system.alarm_due(self.instructions)
+                        and system.signal_handler
+                    ):
+                        raise CacheExit(EXIT_INTERRUPT, pc, None)
             op = code[i]
             kind = op[0]
             if kind == OP_EXEC:

@@ -71,6 +71,7 @@ class Fragment:
         "chain",
         "chain_counter",
         "chains_in",
+        "translation",
     )
 
     KIND_BB = "bb"
@@ -112,6 +113,10 @@ class Fragment:
         self.chain = None
         self.chain_counter = 0
         self.chains_in = []
+        # Execution-point -> application-PC map (repro.core.translate):
+        # built at emit time, drives mid-fragment signal delivery and
+        # detach-time state translation.
+        self.translation = None
 
     @property
     def is_trace(self):

@@ -37,6 +37,7 @@ class RuntimeOptions:
         cache_adaptive=False,
         cache_regen_threshold=0.5,
         cache_grow_factor=2.0,
+        precise_interrupts=False,
     ):
         # Table 1 mechanisms, cumulative.
         self.bb_cache = bb_cache
@@ -141,6 +142,17 @@ class RuntimeOptions:
         # the stale fragments — including traces that stitched them —
         # and rebuild on next dispatch.  Off by default (zero cost).
         self.cache_consistency = cache_consistency
+        # Precise interrupts ("drdetach", repro.core.translate): compile
+        # an interrupt poll at every application-consistent step inside
+        # fragments, chains, and the tuple engine, so due alarms and
+        # pending detach requests are honored *mid-fragment* with a
+        # latency bounded by the longest fused run (<= max_bb_instrs
+        # instructions) instead of waiting for the next dispatcher
+        # boundary.  Off by default: the step tables carry no polls and
+        # every simulated result is bit-identical to the pre-translation
+        # runtime.  Detach itself works either way — boundary
+        # granularity without polls, mid-fragment with them.
+        self.precise_interrupts = precise_interrupts
 
     def copy(self):
         new = RuntimeOptions()

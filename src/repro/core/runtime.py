@@ -21,7 +21,7 @@ from repro.core.bb_builder import (
 from repro.core.chains import ChainManager
 from repro.core.code_cache import CacheFullError, CodeRegionMap
 from repro.core.emit import emit_fragment
-from repro.core.execute import Executor
+from repro.core.execute import EXIT_INTERRUPT, Executor
 from repro.core.fragments import Fragment, LinkStub
 from repro.core.options import RuntimeOptions
 from repro.core.stats import RuntimeStats
@@ -43,10 +43,12 @@ from repro.observe.events import (
     EV_CACHE_EVICTION,
     EV_CACHE_RESIZE,
     EV_CLIENT_HOOK,
+    EV_DETACH,
     EV_FRAGMENT_DELETE,
     EV_FRAGMENT_LINK,
     EV_FRAGMENT_REPLACE,
     EV_FRAGMENT_UNLINK,
+    EV_REATTACH,
     EV_SIGNAL_DELIVERED,
     EV_SMC_INVALIDATE,
     EV_THREAD_SPAWN,
@@ -114,6 +116,29 @@ class DynamoRIO:
         self.pending_trace_heads = set()
         self._client_initialized = False
         self._need_reschedule = False
+        # drdetach (repro.core.translate): a pending detach unwinds the
+        # engines at the next application-consistent point (mid-fragment
+        # polls under options.precise_interrupts, fragment boundaries
+        # otherwise), translates every thread to application state, and
+        # continues natively; ``_reattach_after`` (instructions, or
+        # None = run to exit) schedules the resumption.
+        self._detach_pending = False
+        self._reattach_after = None
+        self._detached = False
+        # Set by the dispatcher when the last cache exit was a
+        # mid-fragment interrupt poll; tags the next delivery's event.
+        self._mid_fragment_interrupt = False
+        # Event tracers registered by the client (dr_register_event_
+        # tracer): removed from the observer on detach/quarantine,
+        # restored on reattach.
+        self._client_tracers = []
+        # The native interpreter for detached phases, created once and
+        # reused so repeated detach/reattach cycles share one decode
+        # cache and register a single SMC write watcher.
+        self._native_interp = None
+        # ThreadContexts created while detached: the client meets them
+        # (thread_init) at reattach time.
+        self._threads_since_detach = []
 
     def _register_runtime_regions(self):
         lay = self.process.layout
@@ -413,11 +438,11 @@ class DynamoRIO:
 
     # ------------------------------------------------------------- quarantine
 
-    def _bailout_client(self):
-        """OSR-style bailout when the guard quarantines the client:
-        drop every fragment (all carry client instrumentation) and all
-        client-visible in-progress state; blocks rebuild uninstrumented
-        on next dispatch and the run continues at native fidelity."""
+    def _teardown_caches(self):
+        """Shared detach/quarantine teardown: drop all in-progress
+        client-visible state and flush every fragment through the
+        ``_delete_fragment`` chokepoint (chain dissolution, region-map
+        deregistration, IBL removal, unlink, ``fragment_deleted``)."""
         self.pending_trace_heads.clear()
         seen = set()
         for thread in self.threads:
@@ -427,6 +452,37 @@ class DynamoRIO:
                     continue
                 seen.add(id(cache))
                 self._flush_cache(cache, thread=thread)
+
+    def _detach_tracers(self):
+        """Unregister the client's event tracers from the observer.
+        Detach restores them at reattach; quarantine never does — a
+        quarantined client must have no surviving emit sites."""
+        observer = self.observer
+        if observer is None:
+            return
+        for fn in self._client_tracers:
+            try:
+                observer.tracers.remove(fn)
+            except ValueError:
+                pass
+
+    def _reattach_tracers(self):
+        observer = self.observer
+        if observer is None:
+            return
+        for fn in self._client_tracers:
+            if fn not in observer.tracers:
+                observer.tracers.append(fn)
+
+    def _bailout_client(self):
+        """OSR-style bailout when the guard quarantines the client:
+        the detach teardown (drop every fragment — all carry client
+        instrumentation — plus all client-visible in-progress state and
+        the client's observer tracers); blocks rebuild uninstrumented
+        on next dispatch and the run continues at native fidelity."""
+        self._teardown_caches()
+        self._detach_tracers()
+        self._client_tracers = []
 
     # --------------------------------------------------------------- linking
 
@@ -669,6 +725,187 @@ class DynamoRIO:
         if self.client is not None:
             self.client.thread_init(thread)
 
+    # -------------------------------------------------------------- drdetach
+
+    def detach(self, reattach_after=None):
+        """Request a transparent detach (dr_detach).
+
+        The engines unwind at the next application-consistent point —
+        mid-fragment/mid-chain under ``options.precise_interrupts``, the
+        next fragment boundary otherwise — where every thread's state is
+        translated back to application state (repro.core.translate) and
+        execution continues natively, bit-identical to a never-attached
+        run.  ``reattach_after`` resumes translated execution after that
+        many native instructions; ``None`` runs native to program exit.
+
+        Callable from client hooks and clean calls; the request takes
+        effect before the next application instruction is executed at a
+        consistent point.
+        """
+        self._detach_pending = True
+        self._reattach_after = reattach_after
+        # Reuse the scheduler's unwind path: every engine (run loop,
+        # chain fast paths, dispatcher) already breaks on this flag.
+        self._need_reschedule = True
+
+    @property
+    def detached(self):
+        return self._detached
+
+    def reattach(self):
+        """Schedule the earliest possible re-attach: a pending detach
+        becomes a detach/re-attach bounce through the full translate →
+        flush → native → resume cycle.  No-op when nothing is pending
+        (the native phase re-attaches on its own schedule)."""
+        if self._detach_pending:
+            self._reattach_after = 0
+
+    def _perform_detach(self):
+        """Translate every live thread to application state and tear
+        the cache down.  The thread's ``resume_tag`` *is* its translated
+        PC: boundary unwinds leave the next fragment tag there, and
+        mid-fragment polls unwind with the poll's source PC."""
+        self._detach_pending = False
+        for thread in self.threads:
+            if not thread.exited:
+                thread.cpu.pc = thread.resume_tag & 0xFFFFFFFF
+            thread.prev_stub = None
+        self._teardown_caches()
+        self._detach_tracers()
+        self._threads_since_detach = []
+        self._detached = True
+        self.stats.detaches += 1
+        if self.observer is not None:
+            self.observer.emit(
+                EV_DETACH,
+                None,
+                threads=sum(1 for t in self.threads if not t.exited),
+                instructions=self.executor.instructions,
+            )
+
+    def _perform_reattach(self, pairs):
+        """Resume translated execution: adopt the native CPUs back as
+        dispatch targets and restore the client's observability."""
+        for ctx, nt in pairs:
+            if not nt.alive:
+                ctx.exited = True
+                continue
+            ctx.resume_tag = ctx.cpu.pc
+            ctx.prev_stub = None
+        self._reattach_tracers()
+        if self.client is not None:
+            for ctx in self._threads_since_detach:
+                if not ctx.exited:
+                    self.client.thread_init(ctx)
+        self._threads_since_detach = []
+        self._detached = False
+        self.stats.reattaches += 1
+        if self.observer is not None:
+            self.observer.emit(
+                EV_REATTACH,
+                None,
+                threads=sum(1 for t in self.threads if not t.exited),
+                instructions=self.executor.instructions,
+            )
+
+    def _run_detached(self, max_instructions, quantum):
+        """The native phase between detach and reattach.
+
+        Runs the reference interpreter over the translated threads,
+        sharing this runtime's System (output stream, alarms armed under
+        the cache — a pending signal delivers natively) and
+        CycleCounter, with the instruction clock carried across so
+        absolute alarm deadlines stay meaningful.  Returns after
+        ``_reattach_after`` native instructions (reattaching), or
+        propagates ProgramExit when the application ends natively.
+        """
+        self._perform_detach()
+        stop_after = self._reattach_after
+        self._reattach_after = None
+        interp = self._native_interp
+        if interp is None:
+            interp = Interpreter(
+                self.process,
+                self.cost,
+                mode="native",
+                system=self.system,
+                counter=self.counter,
+                observer=self.observer,
+            )
+            self._native_interp = interp
+        interp._instructions = self.executor.instructions
+        stop_at = (
+            None if stop_after is None else interp._instructions + stop_after
+        )
+        pairs = [
+            (ctx, interp.adopt_thread(ctx.cpu))
+            for ctx in self.threads
+            if not ctx.exited
+        ]
+
+        def native_spawn(entry, stack_pointer):
+            # A thread spawned while detached still becomes a runtime
+            # ThreadContext so reattach adopts it; the client meets it
+            # (thread_init) at reattach time.
+            lay = self.process.layout
+            if self.options.thread_private:
+                ctx = self._new_thread(lay)
+            else:
+                base = lay.CODE_CACHE_BASE + len(self.threads) * 0x100000
+                ctx = ThreadContext(
+                    self,
+                    base,
+                    cache_limit=self.options.code_cache_limit,
+                    share_from=self.threads[0],
+                )
+                self.threads.append(ctx)
+            ctx.cpu.pc = entry & 0xFFFFFFFF
+            ctx.cpu.regs[4] = stack_pointer & 0xFFFFFFFF
+            ctx.resume_tag = ctx.cpu.pc
+            self._threads_since_detach.append(ctx)
+            pairs.append((ctx, interp.adopt_thread(ctx.cpu)))
+            self.counter.count("threads_spawned")
+            if self.observer is not None:
+                self.observer.emit(
+                    EV_THREAD_SPAWN,
+                    ctx.cpu.pc,
+                    thread_index=len(self.threads) - 1,
+                    private=self.options.thread_private,
+                )
+
+        self.system.spawn_thread = native_spawn
+        rotor = 0
+        try:
+            while True:
+                if stop_at is not None and interp._instructions >= stop_at:
+                    break
+                alive = [pair for pair in pairs if pair[1].alive]
+                if not alive:
+                    break
+                ctx, nt = alive[rotor % len(alive)]
+                rotor += 1
+                if len(alive) > 1:
+                    self.counter.charge(
+                        self.cost.thread_switch, "thread_switches"
+                    )
+                q = quantum
+                if stop_at is not None:
+                    remaining = stop_at - interp._instructions
+                    if remaining < q:
+                        q = remaining
+                try:
+                    interp._run_quantum(nt, q, max_instructions)
+                except ThreadExit:
+                    nt.alive = False
+                    ctx.exited = True
+        finally:
+            # On every exit path — including a native ProgramExit — the
+            # runtime's totals and scheduler hooks reflect the native
+            # phase, so run()'s teardown reports complete results.
+            self.executor.instructions = interp._instructions
+            self.system.spawn_thread = self._spawn_app_thread
+        self._perform_reattach(pairs)
+
     def run(self, entry=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
             quantum=100):
         """Run the application under the runtime; returns a RunResult."""
@@ -691,6 +928,11 @@ class DynamoRIO:
         rotor = 0
         try:
             while True:
+                if self._detach_pending:
+                    # dr_detach was requested and the engines have
+                    # unwound at a consistent point: translate, run
+                    # natively, and (maybe) reattach.
+                    self._run_detached(max_instructions, quantum)
                 alive = [t for t in self.threads if not t.exited]
                 if not alive:
                     break
@@ -739,6 +981,11 @@ class DynamoRIO:
         tag = thread.resume_tag
         prev_stub = thread.prev_stub
         system = self.system
+        # True when the previous executor exit was a mid-fragment
+        # interrupt poll (EXIT_INTERRUPT): ``tag`` is then a translated
+        # source PC inside a fragment's body, and the delivery below is
+        # a genuine mid-fragment delivery.
+        mid_fragment = False
         try:
             while (
                 deadline is None or self.executor.instructions < deadline
@@ -750,6 +997,7 @@ class DynamoRIO:
                 if system.alarm_due(self.executor.instructions) and (
                     system.signal_handler
                 ):
+                    self._mid_fragment_interrupt = mid_fragment
                     tag = self._deliver_signal(thread, tag)
                     prev_stub = None
                 self.counter.cycles += self.cost.dispatch
@@ -790,6 +1038,7 @@ class DynamoRIO:
                 )
                 tag = next_tag
                 prev_stub = stub
+                mid_fragment = reason == EXIT_INTERRUPT
         finally:
             thread.resume_tag = tag
             thread.prev_stub = prev_stub
@@ -826,8 +1075,15 @@ class DynamoRIO:
 
         The *application* pc (the interrupted tag) and eflags go on the
         application stack — never a code-cache address (transparency);
-        the handler address becomes the next dispatch target.
+        the handler address becomes the next dispatch target.  Under
+        ``options.precise_interrupts`` the interrupted tag may be a
+        translated mid-fragment PC (``_mid_fragment_interrupt``, set by
+        the dispatcher when the preceding cache exit was an interrupt
+        poll); either way the delivery latency — instructions executed
+        past the alarm deadline — is accounted under ``signal_latency``.
         """
+        mid_fragment = self._mid_fragment_interrupt
+        self._mid_fragment_interrupt = False
         # A signal arriving mid-trace-build abandons the recording:
         # stitching across an asynchronous redirect would bake the
         # handler's blocks into the trace as if they were its
@@ -836,17 +1092,31 @@ class DynamoRIO:
         squashed_trace = thread.trace_in_progress is not None
         if squashed_trace:
             thread.trace_in_progress = None
+        system = self.system
+        latency = None
+        if system.alarm_at is not None:
+            latency = self.executor.instructions - system.alarm_at
+            events = self.counter.events
+            events["signal_latency"] = (
+                events.get("signal_latency", 0) + latency
+            )
+            if latency > events.get("signal_latency_max", -1):
+                events["signal_latency_max"] = latency
         cpu = thread.cpu
         push_signal_frame(cpu, self.memory, interrupted_tag)
-        self.system.clear_alarm()
-        self.system.signals_delivered += 1
+        system.clear_alarm()
+        system.signals_delivered += 1
         self.counter.charge(self.cost.signal_delivery, "signals_delivered")
         if self.observer is not None:
-            data = {"handler": self.system.signal_handler}
+            data = {"handler": system.signal_handler}
+            if latency is not None:
+                data["latency"] = latency
+            if mid_fragment:
+                data["mid_fragment"] = True
             if squashed_trace:
                 data["trace_squashed"] = True
             self.observer.emit(EV_SIGNAL_DELIVERED, interrupted_tag, **data)
-        return self.system.signal_handler
+        return system.signal_handler
 
     def _events(self):
         events = dict(self.counter.events)

@@ -35,6 +35,8 @@ class RuntimeStats:
         "client_quarantines",
         "fragment_bailouts",
         "smc_invalidations",
+        "detaches",
+        "reattaches",
     )
 
     __slots__ = FIELDS

@@ -101,7 +101,7 @@ class Interpreter:
     """
 
     def __init__(self, process, cost_model=None, mode="native", quantum=100,
-                 engine="closure", observer=None):
+                 engine="closure", observer=None, system=None, counter=None):
         if mode not in ("native", "emulation"):
             raise ValueError("mode must be 'native' or 'emulation'")
         if engine not in ("closure", "tuple"):
@@ -115,8 +115,12 @@ class Interpreter:
         self.quantum = quantum
         self.engine = engine
         self.cpu = CPU()
-        self.system = System()
-        self.counter = CycleCounter()
+        # The runtime's detach path ("drdetach") hands its System and
+        # CycleCounter in so the native continuation appends to the same
+        # output stream, honors alarms armed under the cache, and keeps
+        # one cycle/instruction total across the attach boundary.
+        self.system = system if system is not None else System()
+        self.counter = counter if counter is not None else CycleCounter()
         self.btb = BranchTargetBuffer()
         self.ras = ReturnAddressStack(self.cost.ras_depth)
         self._decode_cache = {}
@@ -209,6 +213,13 @@ class Interpreter:
                 thread_index=len(self._threads) - 1,
             )
 
+    def adopt_thread(self, cpu):
+        """Wrap an existing CPU as a native thread, with a fresh
+        return-address stack (predictor state, not architectural state).
+        The runtime's detach path uses this to continue its translated
+        threads natively; the caller owns scheduling."""
+        return _NativeThread(cpu, ReturnAddressStack(self.cost.ras_depth))
+
     def run(self, entry=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
         """Run until program exit; returns a :class:`RunResult`."""
         main = _NativeThread(self.cpu, self.ras)
@@ -250,20 +261,35 @@ class Interpreter:
             events=events,
         )
 
-    def _deliver_signal(self, cpu):
-        """Redirect to the signal handler with a full signal frame."""
+    def _deliver_signal(self, cpu, n):
+        """Redirect to the signal handler with a full signal frame.
+
+        ``n`` is the current instruction count; the delivery latency
+        (instructions past the alarm deadline — 0 or 1 here, since the
+        native loop checks per instruction) feeds the same
+        ``signal_latency`` accounting the runtime keeps, so detached
+        continuations report comparably.
+        """
         interrupted = cpu.pc
+        latency = None
+        if self.system.alarm_at is not None:
+            latency = n - self.system.alarm_at
+            events = self.counter.events
+            events["signal_latency"] = (
+                events.get("signal_latency", 0) + latency
+            )
+            if latency > events.get("signal_latency_max", -1):
+                events["signal_latency_max"] = latency
         push_signal_frame(cpu, self.process.memory, cpu.pc)
         cpu.pc = self.system.signal_handler
         self.system.clear_alarm()
         self.system.signals_delivered += 1
         self.counter.charge(self.cost.signal_delivery, "signals_delivered")
         if self.observer is not None:
-            self.observer.emit(
-                EV_SIGNAL_DELIVERED,
-                interrupted,
-                handler=self.system.signal_handler,
-            )
+            data = {"handler": self.system.signal_handler}
+            if latency is not None:
+                data["latency"] = latency
+            self.observer.emit(EV_SIGNAL_DELIVERED, interrupted, **data)
 
     def _run_quantum(self, thread, quantum, max_instructions):
         """Closure-driven quantum loop.
@@ -295,7 +321,7 @@ class Interpreter:
                 if alarm_live:
                     system.convert_alarm(n)
                     if system.alarm_due(n) and system.signal_handler:
-                        self._deliver_signal(cpu)
+                        self._deliver_signal(cpu, n)
                         alarm_live = system.alarm_active
                 d = dcache_get(cpu.pc)
                 if d is None:
@@ -403,7 +429,7 @@ class Interpreter:
             if system.alarm_in is not None or system.alarm_at is not None:
                 system.convert_alarm(self._instructions)
                 if system.alarm_due(self._instructions) and system.signal_handler:
-                    self._deliver_signal(cpu)
+                    self._deliver_signal(cpu, self._instructions)
             if self._instructions >= max_instructions:
                 raise MachineFault(
                     "instruction budget exhausted (%d)" % max_instructions

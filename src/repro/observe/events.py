@@ -51,6 +51,10 @@ EV_CLIENT_FAULT = "client_fault"
 EV_CLIENT_QUARANTINED = "client_quarantined"
 EV_FRAGMENT_BAILOUT = "fragment_bailout"
 EV_SMC_INVALIDATE = "smc_invalidate"
+# Detach/re-attach ("drdetach"): the runtime translated every thread to
+# application state and handed execution to native, then resumed.
+EV_DETACH = "detach"
+EV_REATTACH = "reattach"
 
 EVENT_KINDS = (
     EV_FRAGMENT_EMIT,
@@ -77,6 +81,8 @@ EVENT_KINDS = (
     EV_CLIENT_QUARANTINED,
     EV_FRAGMENT_BAILOUT,
     EV_SMC_INVALIDATE,
+    EV_DETACH,
+    EV_REATTACH,
 )
 
 # How the event stream maps back onto RuntimeStats counters.  Each
@@ -105,6 +111,8 @@ STATS_EVENT_MAP = {
     "client_quarantines": (EV_CLIENT_QUARANTINED, ()),
     "fragment_bailouts": (EV_FRAGMENT_BAILOUT, ()),
     "smc_invalidations": (EV_SMC_INVALIDATE, ()),
+    "detaches": (EV_DETACH, ()),
+    "reattaches": (EV_REATTACH, ()),
 }
 
 

@@ -20,13 +20,24 @@ planned bug:
                        workload);
 ``smc_write``          no client misbehavior at all — the workload
                        itself stores into its own code, exercising the
-                       cache-consistency path.
+                       cache-consistency path;
+``detach``             call ``dr_detach`` from the hook: the runtime
+                       must translate state, flush everything, and
+                       finish the program natively, bit-identical;
+``reattach``           ``dr_detach(reattach_after=N)`` — a full
+                       detach / native excursion / re-attach bounce
+                       (possibly several, the plan keeps firing after
+                       the caches are rebuilt);
+``mid_fragment_signal``  no client misbehavior — run under
+                       ``precise_interrupts`` with a signal-delivering
+                       workload so alarms are taken *inside* fragments
+                       via the translation tables.
 """
 
 import random
 
 from repro.api.client import Client
-from repro.api.dr import dr_replace_fragment
+from repro.api.dr import dr_detach, dr_replace_fragment
 from repro.ir.instr import Instr, LabelRef
 from repro.isa.opcodes import Opcode
 
@@ -37,7 +48,14 @@ FAULT_KINDS = (
     "cache_poison",
     "mid_trace_signal",
     "smc_write",
+    "detach",
+    "reattach",
+    "mid_fragment_signal",
 )
+
+# Native excursion length for the ``reattach`` fault: short enough that
+# every chaos workload has that much left to run after the first hook.
+REATTACH_AFTER = 300
 
 
 class InjectedFault(Exception):
@@ -139,6 +157,7 @@ class FaultInjectingClient(Client):
         if self.plan.fires(self.bb_calls) and kind not in (
             "mid_trace_signal",
             "smc_write",
+            "mid_fragment_signal",
         ):
             if kind == "raise_in_hook":
                 self.injected += 1
@@ -156,6 +175,19 @@ class FaultInjectingClient(Client):
                 spin = 0
                 while True:  # runs until the hook budget trips
                     spin += 1
+            if kind == "detach":
+                # Stay-native detach from inside a build hook: not a
+                # bug, but the harshest transparency test — the rest of
+                # the program must run natively, bit-identical.
+                if not self.injected:
+                    self.injected += 1
+                    dr_detach(self)
+            if kind == "reattach":
+                # Detach / re-attach bounce.  Fires again after the
+                # re-attach rebuilds the caches and the hook is called
+                # anew, so one seed exercises several round trips.
+                self.injected += 1
+                dr_detach(self, reattach_after=REATTACH_AFTER)
             if kind == "cache_poison":
                 prior = self._last_tag
                 if prior is not None and prior != tag:

@@ -132,6 +132,11 @@ class ClientGuard:
         self.quarantined = True
         runtime = self.runtime
         runtime.stats.client_quarantines += 1
+        # Bail out *before* emitting: the flush also unregisters the
+        # client's event tracers (the detach path), so the quarantined
+        # client never observes its own quarantine — no client emit
+        # site survives the bailout.
+        runtime._bailout_client()
         observer = runtime.observer
         if observer is not None:
             observer.emit(
@@ -140,7 +145,6 @@ class ClientGuard:
                 faults=self.faults,
                 limit=self.fault_limit,
             )
-        runtime._bailout_client()
 
     # ------------------------------------------------------------ hook sites
 

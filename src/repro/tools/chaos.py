@@ -157,10 +157,11 @@ def workload_images():
 SMALL_CLIENTS = ("rlr", "inc2add", "ctrace")
 FULL_CLIENTS = ("rlr", "inc2add", "ctrace", "ibdisp", "null")
 
-# Fault kind -> workloads that exercise it.  mid_trace_signal needs a
-# signal-delivering program; smc_write needs the self-modifying one.
+# Fault kind -> workloads that exercise it.  mid_trace_signal and
+# mid_fragment_signal need a signal-delivering program; smc_write needs
+# the self-modifying one.
 def fault_workloads(kind, matrix):
-    if kind == "mid_trace_signal":
+    if kind in ("mid_trace_signal", "mid_fragment_signal"):
         return ("signal",)
     if kind == "smc_write":
         return ("smc",)
@@ -178,7 +179,15 @@ EXPECTED_EVENTS = {
     "cache_poison": ("client_fault", "fragment_bailout"),
     "mid_trace_signal": ("client_fault", "signal_delivered"),
     "smc_write": ("smc_invalidate",),
+    "detach": ("detach",),
+    "reattach": ("detach", "reattach"),
+    "mid_fragment_signal": ("signal_delivered",),
 }
+
+# Kinds exercising the drdetach machinery: run under precise
+# interrupts so state translation and mid-fragment delivery are
+# actually on the path, not just fragment-boundary rollback.
+DETACH_KINDS = ("detach", "reattach", "mid_fragment_signal")
 
 
 def run_one(image, client_name, fault_kind, seed, closure_engine=True):
@@ -199,6 +208,8 @@ def run_one(image, client_name, fault_kind, seed, closure_engine=True):
         # Make traces (and therefore trace hooks / stitched-span
         # invalidation) happen early in these short programs.
         options.trace_threshold = 3
+    if fault_kind in DETACH_KINDS:
+        options.precise_interrupts = True
 
     plan = FaultPlan(fault_kind, seed)
     client = FaultInjectingClient(plan, inner=CLIENTS[client_name]())
@@ -223,8 +234,22 @@ def run_one(image, client_name, fault_kind, seed, closure_engine=True):
     for kind in EXPECTED_EVENTS[fault_kind]:
         if not counts.get(kind):
             problems.append("expected event %r never fired" % kind)
-    if fault_kind != "smc_write" and client.injected == 0:
+    if (
+        fault_kind not in ("smc_write", "mid_fragment_signal")
+        and client.injected == 0
+    ):
         problems.append("fault plan never fired")
+    if fault_kind == "mid_fragment_signal":
+        # The point of the kind: at least one alarm must have been
+        # taken *inside* a fragment via the translation table, not at
+        # a fragment boundary.
+        mid = sum(
+            1
+            for ev in runtime.observer.events()
+            if ev.kind == "signal_delivered" and ev.data.get("mid_fragment")
+        )
+        if not mid:
+            problems.append("no mid-fragment signal delivery")
     if fault_kind in ("corrupt_instrlist", "cache_poison") and client.injected:
         # drequiv negative control: these faults corrupt instruction
         # lists semantically, so beyond the guard's dynamic bailout the

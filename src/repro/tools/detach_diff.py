@@ -1,0 +1,161 @@
+"""drdetach differential: detach mid-run, finish natively, diff outputs.
+
+Usage::
+
+    python -m repro.tools.detach_diff
+    python -m repro.tools.detach_diff --benchmarks gzip --modes detach
+
+Each cell runs a benchmark under ``precise_interrupts`` with a client
+that clean-calls every block and detaches at the k-th dynamic call —
+mid-fragment, from inside cache execution.  The contract:
+
+* the native continuation's output and exit code are byte-identical to
+  a run that was *never* attached;
+* ``detach`` mode stays native to program exit; ``reattach`` mode
+  resumes translated execution after a native excursion and must also
+  re-attach successfully (fragments rebuilt, stats replay-exact);
+* the ``signal`` workload variant detaches with an alarm pending, so
+  the deadline must carry across the transition and deliver natively.
+
+Exit status is non-zero if any cell diverges.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.api.client import Client
+from repro.api.dr import dr_detach, dr_insert_clean_call
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.observe.events import replay_stats
+from repro.tools.chaos import workload_images
+from repro.workloads import load_benchmark
+
+ENGINES = ("tuple", "closure", "chain")
+MODES = ("detach", "reattach")
+DEFAULT_BENCHMARKS = ("gzip", "mcf")
+
+
+class DetachClient(Client):
+    """Clean-calls every block; the k-th dynamic call detaches."""
+
+    def __init__(self, at, reattach_after=None):
+        super().__init__()
+        self.at = at
+        self.reattach_after = reattach_after
+        self.calls = 0
+
+    def _tick(self, context):
+        self.calls += 1
+        if self.calls == self.at:
+            dr_detach(self, reattach_after=self.reattach_after)
+
+    def basic_block(self, context, tag, ilist):
+        first = next(iter(ilist), None)
+        dr_insert_clean_call(ilist, first, self._tick)
+
+
+def run_cell(image, native, engine, mode, at, reattach_after):
+    """One differential cell; returns (ok, detail)."""
+    options = RuntimeOptions(
+        closure_engine=engine != "tuple",
+        chain_engine=engine == "chain",
+        chain_threshold=3,
+        precise_interrupts=True,
+        trace_events=True,
+        trace_buffer=None,
+    )
+    client = DetachClient(
+        at, reattach_after=reattach_after if mode == "reattach" else None
+    )
+    runtime = DynamoRIO(Process(image), options=options, client=client)
+    try:
+        result = runtime.run()
+    except Exception as exc:
+        return False, "crashed: %s: %s" % (type(exc).__name__, exc)
+
+    problems = []
+    if result.output != native.output:
+        problems.append(
+            "output diverged (%r != native %r)"
+            % (result.output[:32], native.output[:32])
+        )
+    if result.exit_code != native.exit_code:
+        problems.append(
+            "exit code diverged (%s != native %s)"
+            % (result.exit_code, native.exit_code)
+        )
+    if runtime.stats.detaches != 1:
+        problems.append("detached %d times" % runtime.stats.detaches)
+    if mode == "reattach":
+        if runtime.stats.reattaches != 1:
+            problems.append(
+                "re-attached %d times" % runtime.stats.reattaches
+            )
+        if replay_stats(runtime.observer.events()) != runtime.stats.as_dict():
+            problems.append("event stream does not replay to live stats")
+    elif not runtime.detached:
+        problems.append("run ended attached in stay-native mode")
+    if problems:
+        return False, "; ".join(problems)
+    return True, "ok (detached at call %d)" % at
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
+        help="comma-separated benchmark subset",
+    )
+    parser.add_argument("--scale", default="test")
+    parser.add_argument(
+        "--modes", default=",".join(MODES), help="detach,reattach"
+    )
+    parser.add_argument(
+        "--at", type=int, default=250,
+        help="detach at this dynamic clean-call count",
+    )
+    parser.add_argument(
+        "--reattach-after", type=int, default=5000,
+        help="native instructions before re-attach",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    cells = []
+    for name in args.benchmarks.split(","):
+        cells.append((name, load_benchmark(name, args.scale), args.at,
+                      args.reattach_after))
+    # Pending-signal variant: the chaos signal workload arms alarms, so
+    # detaching early leaves a deadline pending across the transition.
+    # Small program — detach at the third call, short native window.
+    cells.append(("signal", workload_images()["signal"], 3, 300))
+
+    modes = args.modes.split(",")
+    runs = failures = 0
+    start = time.perf_counter()
+    for name, image, at, reattach_after in cells:
+        native = run_native(Process(image))
+        for engine in ENGINES:
+            for mode in modes:
+                runs += 1
+                ok, detail = run_cell(
+                    image, native, engine, mode, at, reattach_after
+                )
+                label = "%-8s %-7s %-8s" % (name, engine, mode)
+                if not ok:
+                    failures += 1
+                    print("FAIL %s: %s" % (label, detail))
+                elif args.verbose:
+                    print("ok   %s: %s" % (label, detail))
+    print(
+        "detach diff: %d runs, %d failures (%.1fs)"
+        % (runs, failures, time.perf_counter() - start)
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

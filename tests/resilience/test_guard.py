@@ -244,7 +244,33 @@ def test_faulty_tracer_is_detached(loop_image, loop_native):
     )
 
 
-def test_guard_off_means_no_guard_object(loop_image):
+def test_quarantine_detaches_client_observers(loop_image, loop_native):
+    seen = []
+
+    class TracingFaultyClient(Client):
+        """Registers a well-behaved tracer but has a buggy bb hook."""
+
+        def init(self):
+            dr_register_event_tracer(self, lambda ev: seen.append(ev.kind))
+
+        def basic_block(self, context, tag, ilist):
+            raise RuntimeError("planted bb bug")
+
+    runtime, result = run_under(
+        loop_image, options=_guarded_options(), client=TracingFaultyClient()
+    )
+    assert result.output == loop_native.output
+    assert runtime.stats.client_quarantines == 1
+    # Quarantine goes through the detach path: the tracer registration
+    # is gone from the observer — no client emit site survives — and
+    # the bookkeeping list is cleared so a later detach/re-attach
+    # cannot resurrect it.
+    assert runtime._client_tracers == []
+    assert runtime.observer.tracers == []
+    # The tracer saw nothing after the quarantine event (which itself
+    # is emitted only after the client's observers are gone).
+    assert "client_quarantined" not in seen
+    assert len(seen) < runtime.observer.total_emitted
     runtime, _ = run_under(loop_image, client=StrengthReduction())
     assert runtime.guard is None
 
