@@ -389,7 +389,24 @@ class ChainManager:
         fragment.chain_counter = 0
         if fragment.deleted:
             return None
-        return self._build(fragment)
+        rguard = self.runtime.rguard
+        if rguard is None or rguard.recovering:
+            return self._build(fragment)
+        # drshield: chain building is a runtime chokepoint — a fault
+        # here is recorded and the fragment simply keeps running its
+        # per-fragment table (chains are a wall-clock optimization, so
+        # skipping the build is always safe); repeated chain faults
+        # disable the chain subsystem outright.
+        from repro.resilience.guard import RUNTIME_PASSTHROUGH
+
+        try:
+            rguard.check("chain", fragment.tag)
+            return self._build(fragment)
+        except RUNTIME_PASSTHROUGH:
+            raise
+        except Exception as exc:
+            rguard.record_fault("chain", fragment.tag, exc)
+            return None
 
     # ----------------------------------------------------------- invalidation
 

@@ -164,6 +164,14 @@ def emit_fragment(tag, kind, ilist, cost_model, options, stats=None, runtime=Non
     """
     if source_tags is None:
         source_tags = (tag,)
+    # drshield: the emit chokepoint is a fault-injection site, but only
+    # for dispatcher-owned builds (in_chokepoint) — an emit initiated by
+    # a client API call (dr_replace_fragment) is the client guard's
+    # problem, not the runtime ladder's.
+    if runtime is not None:
+        rguard = getattr(runtime, "rguard", None)
+        if rguard is not None and rguard.in_chokepoint:
+            rguard.check("emit", tag)
     if options is not None and (
         getattr(options, "verify_fragments", False)
         or getattr(options, "verify_equivalence", False)

@@ -303,12 +303,14 @@ class Executor:
         next_fragment = None
         while i < n:
             if poll_map is not None and (
-                system.alarm_active or runtime._detach_pending
+                system.alarm_active
+                or runtime._detach_pending
+                or runtime._shield_pending
             ):
                 pc = poll_map.get(i)
                 if pc is not None:
                     system.convert_alarm(self.instructions)
-                    if runtime._detach_pending or (
+                    if runtime._detach_pending or runtime._shield_pending or (
                         system.alarm_due(self.instructions)
                         and system.signal_handler
                     ):

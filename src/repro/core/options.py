@@ -38,6 +38,9 @@ class RuntimeOptions:
         cache_regen_threshold=0.5,
         cache_grow_factor=2.0,
         precise_interrupts=False,
+        shield=False,
+        shield_fault_limit=5,
+        shield_watchdog_limit=8,
     ):
         # Table 1 mechanisms, cumulative.
         self.bb_cache = bb_cache
@@ -153,6 +156,24 @@ class RuntimeOptions:
         # runtime.  Detach itself works either way — boundary
         # granularity without polls, mid-fragment with them.
         self.precise_interrupts = precise_interrupts
+        # Self-protection and failsafe ("drshield", repro.resilience
+        # .shield): watch runtime-owned memory (code cache, exit stubs,
+        # IBL tables, runtime scratch) for errant application stores and
+        # recover by invalidating only the clobbered unit; wrap the
+        # runtime's own chokepoints (build, emit, link, unlink, evict,
+        # trace, chain) in a RuntimeGuard whose escalation ladder runs
+        # retry -> discard -> flush -> disable-subsystem -> detach to
+        # native.  Off by default: runtime.shield/rguard are None, every
+        # new check is a single pointer test, and results are
+        # bit-identical to pre-shield behavior.
+        self.shield = shield
+        # Internal faults tolerated before the ladder's last rung (a
+        # full detach to native).
+        self.shield_fault_limit = shield_fault_limit
+        # Forward-progress watchdog: re-translations of the same tag
+        # without an intervening execution before the watchdog trips
+        # (first trip flushes the thread's caches, second detaches).
+        self.shield_watchdog_limit = shield_watchdog_limit
 
     def copy(self):
         new = RuntimeOptions()

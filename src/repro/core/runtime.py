@@ -56,7 +56,8 @@ from repro.observe.events import (
     EV_TRACE_HEAD_PROMOTED,
     Observer,
 )
-from repro.resilience.guard import ClientGuard
+from repro.resilience.guard import RUNTIME_PASSTHROUGH, ClientGuard
+from repro.resilience.shield import RuntimeGuard, Shield
 
 
 class DynamoRIO:
@@ -112,6 +113,19 @@ class DynamoRIO:
         if self.options.cache_consistency:
             self.region_map = CodeRegionMap()
             self.memory.add_write_watcher(self._on_app_code_write)
+        # drshield (repro.resilience.shield): runtime self-protection
+        # (errant application stores into runtime-owned memory) and the
+        # internal-fault escalation ladder.  Both None when
+        # options.shield is off — every chokepoint pays one pointer
+        # check and all simulated results are bit-identical to
+        # pre-shield behavior.
+        self._shield_pending = False
+        self.shield = Shield(self) if self.options.shield else None
+        self.rguard = RuntimeGuard(self) if self.options.shield else None
+        # Fault diagnostics: memory errors blame the faulting thread's
+        # translated application PC (consulted on error paths only).
+        self._fault_context = lambda: self.current_thread.resume_tag
+        self.memory.set_fault_context(self._fault_context)
         # Tags the client marked as trace heads before fragments exist.
         self.pending_trace_heads = set()
         self._client_initialized = False
@@ -247,32 +261,93 @@ class DynamoRIO:
             thread.ibl.insert(fragment)
         return fragment
 
+    def _guarded_build(self, tag):
+        """Build a bb under the shield's escalation ladder.
+
+        Rungs: a fault retries the translation once; a second fault
+        flushes the thread's caches (discarding whatever partial state
+        the failed builds left) and retries; a third gives up and
+        detaches to native.  The forward-progress watchdog breaks
+        translate/flush livelock — the same tag rebuilding without ever
+        executing — through the same flush-then-detach escalation.
+
+        Returns ``None`` when the run must detach: the dispatcher
+        unwinds, and since ``resume_tag`` still holds ``tag`` the
+        native continuation resumes exactly here.
+        """
+        rguard = self.rguard
+        shield = self.shield
+        thread = self.current_thread
+        while True:
+            if shield.note_build(tag) == "detach":
+                rguard.request_detach()
+                return None
+            faults = 0
+            fragment = None
+            while fragment is None:
+                try:
+                    rguard.in_chokepoint = True
+                    try:
+                        rguard.check("bb_build", tag)
+                        fragment = self._build_bb(tag)
+                    finally:
+                        rguard.in_chokepoint = False
+                except RUNTIME_PASSTHROUGH:
+                    raise
+                except Exception as exc:
+                    rguard.record_fault("bb_build", tag, exc)
+                    if self._detach_pending or rguard.detach_requested:
+                        return None
+                    faults += 1
+                    if faults == 1:
+                        continue  # rung 1: retry the translation
+                    if faults == 2:
+                        # rung 2: discard partial build state by
+                        # flushing the thread's caches, then retry.
+                        rguard.recovering = True
+                        try:
+                            self._flush_cache(thread.bb_cache, thread=thread)
+                            self._flush_cache(
+                                thread.trace_cache, thread=thread
+                            )
+                            self._squash_stale_recordings()
+                        finally:
+                            rguard.recovering = False
+                        continue
+                    rguard.request_detach()  # rung 3: bail to native
+                    return None
+            if rguard.post_build(fragment) != "rebuild":
+                return fragment
+            # Livelock injection killed the fresh fragment: rebuild the
+            # same tag (the watchdog breaks the cycle).
+
     def _place(self, cache, fragment, thread=None):
         try:
             cache.allocate(fragment)
         except CacheFullError:
             if cache.policy == "fifo":
-                self._evict_fifo(cache, fragment, thread)
+                rguard = self.rguard
+                if rguard is None or rguard.recovering:
+                    self._evict_fifo(cache, fragment, thread)
+                else:
+                    # drshield: eviction is a runtime chokepoint — a
+                    # fault mid-evict falls back to the always-safe
+                    # whole-unit flush; repeated evict faults disable
+                    # fifo eviction outright.
+                    try:
+                        rguard.check("evict", fragment.tag)
+                        self._evict_fifo(cache, fragment, thread)
+                    except RUNTIME_PASSTHROUGH:
+                        raise
+                    except Exception as exc:
+                        rguard.record_fault("evict", fragment.tag, exc)
+                        rguard.recovering = True
+                        try:
+                            self._pressure_flush(cache, fragment, thread)
+                        finally:
+                            rguard.recovering = False
             else:
-                observer = self.observer
-                if observer is not None:
-                    occ = cache.occupancy()
-                    observer.emit(
-                        EV_CACHE_EVICTION,
-                        fragment.tag,
-                        unit=occ["unit"],
-                        used=occ["used"],
-                        limit=occ["limit"],
-                        dropped=occ["fragments"],
-                        incoming_size=fragment.size,
-                    )
-                for victim in cache.flush():
-                    # Capacity churn accounting (feeds adaptive sizing;
-                    # the quarantine flush deliberately does not count).
-                    cache.record_eviction(victim)
-                    self._delete_fragment(victim, from_cache=False,
-                                          thread=thread)
-                self.stats.cache_evictions += 1
+                self._pressure_flush(cache, fragment, thread)
             # Evictions may have deleted blocks referenced by an
             # in-progress trace recording; finalizing such a recording
             # would stitch deleted fragments — and, once unregistered
@@ -283,6 +358,29 @@ class DynamoRIO:
             self._squash_stale_recordings()
             cache.allocate(fragment)
             self._check_cache_resize(cache)
+
+    def _pressure_flush(self, cache, fragment, thread=None):
+        """Capacity pressure under ``cache_evict_policy="flush"`` (and
+        the shield's fallback when fifo eviction faults): drop the whole
+        unit through the delete chokepoint."""
+        observer = self.observer
+        if observer is not None:
+            occ = cache.occupancy()
+            observer.emit(
+                EV_CACHE_EVICTION,
+                fragment.tag,
+                unit=occ["unit"],
+                used=occ["used"],
+                limit=occ["limit"],
+                dropped=occ["fragments"],
+                incoming_size=fragment.size,
+            )
+        for victim in cache.flush():
+            # Capacity churn accounting (feeds adaptive sizing;
+            # the quarantine flush deliberately does not count).
+            cache.record_eviction(victim)
+            self._delete_fragment(victim, from_cache=False, thread=thread)
+        self.stats.cache_evictions += 1
 
     def _evict_fifo(self, cache, fragment, thread=None):
         """Capacity pressure under ``cache_evict_policy="fifo"``: evict
@@ -356,6 +454,28 @@ class DynamoRIO:
             self._delete_fragment(fragment, from_cache=False, thread=thread)
 
     def _delete_fragment(self, fragment, from_cache=True, thread=None):
+        rguard = self.rguard
+        if rguard is None or rguard.recovering:
+            self._delete_fragment_impl(fragment, from_cache, thread)
+            return
+        # drshield: unlink/delete is a runtime chokepoint.  The
+        # teardown is *required* for correctness (SMC invalidation,
+        # eviction), so a fault here is recorded and the teardown is
+        # scrubbed — re-run with injection suppressed.
+        try:
+            rguard.check("unlink", fragment.tag)
+            self._delete_fragment_impl(fragment, from_cache, thread)
+        except RUNTIME_PASSTHROUGH:
+            raise
+        except Exception as exc:
+            rguard.record_fault("unlink", fragment.tag, exc)
+            rguard.recovering = True
+            try:
+                self._delete_fragment_impl(fragment, from_cache, thread)
+            finally:
+                rguard.recovering = False
+
+    def _delete_fragment_impl(self, fragment, from_cache=True, thread=None):
         if thread is None:
             thread = self.current_thread
         fragment.deleted = True
@@ -496,6 +616,19 @@ class DynamoRIO:
         # Trace heads stay unlinked so their counters keep advancing.
         if target_fragment.is_trace_head and not target_fragment.is_trace:
             return
+        rguard = self.rguard
+        if rguard is not None and not rguard.recovering:
+            # drshield: linking is a runtime chokepoint — a fault here
+            # simply skips the link (the exit keeps context-switching
+            # through dispatch, which is always correct); repeated link
+            # faults disable direct linking outright.
+            try:
+                rguard.check("link", stub.fragment.tag)
+            except RUNTIME_PASSTHROUGH:
+                raise
+            except Exception as exc:
+                rguard.record_fault("link", stub.fragment.tag, exc)
+                return
         stub.linked_to = target_fragment
         target_fragment.incoming.append(stub)
         self.counter.cycles += self.cost.link_cost
@@ -679,6 +812,26 @@ class DynamoRIO:
             head_bb.incoming = []
         thread.trace_in_progress = None
         return fragment
+
+    def _guarded_finalize(self, recording):
+        """Trace promotion under the shield: a fault discards the
+        recording (the head stays hot and re-records on its own heat);
+        repeated trace faults disable the trace subsystem.  Returns the
+        stitched trace, or ``None`` on fault."""
+        rguard = self.rguard
+        try:
+            rguard.in_chokepoint = True
+            try:
+                rguard.check("trace", recording.head_tag)
+                return self._finalize_trace(recording)
+            finally:
+                rguard.in_chokepoint = False
+        except RUNTIME_PASSTHROUGH:
+            raise
+        except Exception as exc:
+            rguard.record_fault("trace", recording.head_tag, exc)
+            self.current_thread.trace_in_progress = None
+            return None
 
     def _client_end_trace(self, recording, next_tag):
         if self.client is None:
@@ -904,6 +1057,9 @@ class DynamoRIO:
             # phase, so run()'s teardown reports complete results.
             self.executor.instructions = interp._instructions
             self.system.spawn_thread = self._spawn_app_thread
+            # The native quanta re-pointed the fault context at their
+            # thread CPUs; translated execution blames resume tags.
+            self.memory.set_fault_context(self._fault_context)
         self._perform_reattach(pairs)
 
     def run(self, entry=None, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
@@ -928,6 +1084,12 @@ class DynamoRIO:
         rotor = 0
         try:
             while True:
+                if self._shield_pending:
+                    # The shield recorded errant application stores into
+                    # runtime-owned memory and the engines have unwound:
+                    # attribute, emit, and recover (surgical unit
+                    # invalidation) at this consistent point.
+                    self.shield.deliver()
                 if self._detach_pending:
                     # dr_detach was requested and the engines have
                     # unwound at a consistent point: translate, run
@@ -1003,7 +1165,14 @@ class DynamoRIO:
                 self.counter.cycles += self.cost.dispatch
                 fragment = thread.lookup_fragment(tag)
                 if fragment is None:
-                    fragment = self._build_bb(tag)
+                    if self.rguard is None:
+                        fragment = self._build_bb(tag)
+                    else:
+                        fragment = self._guarded_build(tag)
+                        if fragment is None:
+                            # The ladder escalated to a detach: unwind
+                            # to the run loop with resume_tag intact.
+                            break
                 self._note_branch_origin(prev_stub, fragment)
                 self._maybe_link(prev_stub, fragment)
 
@@ -1036,6 +1205,10 @@ class DynamoRIO:
                     budget=max_instructions,
                     deadline=deadline,
                 )
+                if self.shield is not None:
+                    # Forward progress: the fragment executed, so its
+                    # tag is no longer a livelock suspect.
+                    self.shield.note_progress(fragment.tag)
                 tag = next_tag
                 prev_stub = stub
                 mid_fragment = reason == EXIT_INTERRUPT
@@ -1062,7 +1235,14 @@ class DynamoRIO:
         if fragment.is_trace:
             end = True
         if end:
-            trace = self._finalize_trace(recording)
+            if self.rguard is None:
+                trace = self._finalize_trace(recording)
+            else:
+                trace = self._guarded_finalize(recording)
+                if trace is None:
+                    # Trace promotion faulted: recording discarded, the
+                    # bb runs untouched and the head re-records later.
+                    return fragment, None
             # If the trace begins where we are about to execute, run it.
             if trace.tag == fragment.tag:
                 return trace, None

@@ -37,6 +37,9 @@ class RuntimeStats:
         "smc_invalidations",
         "detaches",
         "reattaches",
+        "shield_faults",
+        "subsystems_disabled",
+        "watchdog_trips",
     )
 
     __slots__ = FIELDS

@@ -151,9 +151,9 @@ def make_poll_step(runtime, pc, step):
     system = runtime.system
 
     def poll_step(ex, cpu, _step=step, _pc=pc, _sys=system, _rt=runtime):
-        if _sys.alarm_active or _rt._detach_pending:
+        if _sys.alarm_active or _rt._detach_pending or _rt._shield_pending:
             _sys.convert_alarm(ex.instructions)
-            if _rt._detach_pending or (
+            if _rt._detach_pending or _rt._shield_pending or (
                 _sys.alarm_due(ex.instructions) and _sys.signal_handler
             ):
                 raise CacheExit(EXIT_INTERRUPT, _pc, None)

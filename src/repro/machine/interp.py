@@ -301,6 +301,9 @@ class Interpreter:
         folded into the loop limit.
         """
         cpu = thread.cpu
+        # Fault context: memory errors raised during this quantum blame
+        # this thread's current PC (consulted on error paths only).
+        self.process.memory.set_fault_context(lambda: cpu.pc)
         counter = self.counter
         emulating = self.mode == "emulation"
         emu_cost = self.cost.emulate_per_instr
@@ -420,6 +423,9 @@ class Interpreter:
         produces bit-identical cycles/instructions/output against it."""
         cpu = thread.cpu
         mem = self.process.memory
+        # Fault context: memory errors raised during this quantum blame
+        # this thread's current PC (consulted on error paths only).
+        mem.set_fault_context(lambda: cpu.pc)
         cost = self.cost
         counter = self.counter
         emulating = self.mode == "emulation"

@@ -61,6 +61,10 @@ class Memory:
         # path pays a single attribute test, mirroring ``_protect``.
         self._watch_pages = None
         self._watchers = ()
+        # Optional fault-context provider (``fn() -> app PC or None``),
+        # consulted on error paths only: raised faults then blame the
+        # application instruction that performed the access.
+        self._fault_pc = None
 
     # -------------------------------------------------------------- regions
 
@@ -95,12 +99,39 @@ class Memory:
         """Enable/disable write-protection checks (off = fast path)."""
         self._protect = bool(enabled)
 
+    def set_fault_context(self, fn):
+        """Register a fault-context provider: ``fn()`` returns the
+        current application PC (or ``None``).  Consulted only when a
+        fault is raised — never on the access fast path — so faults can
+        name the application instruction responsible."""
+        self._fault_pc = fn
+
+    def _fault_detail(self, addr, with_region=True):
+        """Diagnostic suffix for fault messages: the region containing
+        ``addr`` (when known and wanted) and the attributed app PC."""
+        parts = []
+        if with_region:
+            region = self.region_containing(addr)
+            if region is not None:
+                parts.append("region %s" % region.name)
+        fn = self._fault_pc
+        if fn is not None:
+            pc = fn()
+            if pc is not None:
+                parts.append("app pc 0x%x" % pc)
+        return " (%s)" % ", ".join(parts) if parts else ""
+
     def _check_write(self, addr, size):
         region = self.region_containing(addr)
         if region is not None and not region.writable:
             raise MachineFault(
-                "write of %d bytes to read-only region %s at 0x%x"
-                % (size, region.name, addr)
+                "write of %d bytes to read-only region %s at 0x%x%s"
+                % (
+                    size,
+                    region.name,
+                    addr,
+                    self._fault_detail(addr, with_region=False),
+                )
             )
 
     # --------------------------------------------------------- write watching
@@ -132,25 +163,37 @@ class Memory:
     def read_u8(self, addr):
         addr &= _MASK32
         if addr >= self.size:
-            raise MachineFault("read past memory at 0x%x" % addr)
+            raise MachineFault(
+                "read past memory at 0x%x%s"
+                % (addr, self._fault_detail(addr))
+            )
         return self._bytes[addr]
 
     def read_u16(self, addr):
         addr &= _MASK32
         if addr + 2 > self.size:
-            raise MachineFault("read past memory at 0x%x" % addr)
+            raise MachineFault(
+                "read past memory at 0x%x%s"
+                % (addr, self._fault_detail(addr))
+            )
         return int.from_bytes(self._bytes[addr : addr + 2], "little")
 
     def read_u32(self, addr):
         addr &= _MASK32
         if addr + 4 > self.size:
-            raise MachineFault("read past memory at 0x%x" % addr)
+            raise MachineFault(
+                "read past memory at 0x%x%s"
+                % (addr, self._fault_detail(addr))
+            )
         return int.from_bytes(self._bytes[addr : addr + 4], "little")
 
     def write_u8(self, addr, value):
         addr &= _MASK32
         if addr >= self.size:
-            raise MachineFault("write past memory at 0x%x" % addr)
+            raise MachineFault(
+                "write past memory at 0x%x%s"
+                % (addr, self._fault_detail(addr))
+            )
         if self._protect:
             self._check_write(addr, 1)
         self._bytes[addr] = value & 0xFF
@@ -161,7 +204,10 @@ class Memory:
     def write_u32(self, addr, value):
         addr &= _MASK32
         if addr + 4 > self.size:
-            raise MachineFault("write past memory at 0x%x" % addr)
+            raise MachineFault(
+                "write past memory at 0x%x%s"
+                % (addr, self._fault_detail(addr))
+            )
         if self._protect:
             self._check_write(addr, 4)
         self._bytes[addr : addr + 4] = (value & _MASK32).to_bytes(4, "little")
@@ -175,13 +221,19 @@ class Memory:
     def read_bytes(self, addr, n):
         addr &= _MASK32
         if addr + n > self.size:
-            raise MachineFault("read past memory at 0x%x" % addr)
+            raise MachineFault(
+                "read past memory at 0x%x%s"
+                % (addr, self._fault_detail(addr))
+            )
         return bytes(self._bytes[addr : addr + n])
 
     def write_bytes(self, addr, data):
         addr &= _MASK32
         if addr + len(data) > self.size:
-            raise MachineFault("write past memory at 0x%x" % addr)
+            raise MachineFault(
+                "write past memory at 0x%x%s"
+                % (addr, self._fault_detail(addr))
+            )
         if self._protect:
             self._check_write(addr, len(data))
         self._bytes[addr : addr + len(data)] = data

@@ -55,6 +55,14 @@ EV_SMC_INVALIDATE = "smc_invalidate"
 # application state and handed execution to native, then resumed.
 EV_DETACH = "detach"
 EV_REATTACH = "reattach"
+# Self-protection ("drshield"): an errant application store into
+# runtime-owned memory or an internal runtime fault was contained
+# (kind="errant_write" vs kind="internal"); an optional subsystem was
+# turned off by the escalation ladder; the forward-progress watchdog
+# fired on a translate/flush livelock.
+EV_SHIELD_FAULT = "shield_fault"
+EV_SUBSYSTEM_DISABLED = "subsystem_disabled"
+EV_WATCHDOG_TRIP = "watchdog_trip"
 
 EVENT_KINDS = (
     EV_FRAGMENT_EMIT,
@@ -83,6 +91,9 @@ EVENT_KINDS = (
     EV_SMC_INVALIDATE,
     EV_DETACH,
     EV_REATTACH,
+    EV_SHIELD_FAULT,
+    EV_SUBSYSTEM_DISABLED,
+    EV_WATCHDOG_TRIP,
 )
 
 # How the event stream maps back onto RuntimeStats counters.  Each
@@ -113,6 +124,9 @@ STATS_EVENT_MAP = {
     "smc_invalidations": (EV_SMC_INVALIDATE, ()),
     "detaches": (EV_DETACH, ()),
     "reattaches": (EV_REATTACH, ()),
+    "shield_faults": (EV_SHIELD_FAULT, ()),
+    "subsystems_disabled": (EV_SUBSYSTEM_DISABLED, ()),
+    "watchdog_trips": (EV_WATCHDOG_TRIP, ()),
 }
 
 

@@ -32,6 +32,26 @@ planned bug:
                        ``precise_interrupts`` with a signal-delivering
                        workload so alarms are taken *inside* fragments
                        via the translation tables.
+
+The drshield matrix targets the *runtime* instead of the client: a
+:class:`RuntimeFaultPlan` is installed on the runtime's
+:class:`~repro.resilience.shield.RuntimeGuard` and fires at the
+runtime's own chokepoints — no client involved at all:
+
+``runtime_raise:<site>``  raise :class:`~repro.resilience.shield.
+                       InjectedRuntimeFault` at chokepoint ``<site>``
+                       (one of bb_build, emit, link, unlink, evict,
+                       trace, chain) on the scheduled invocations; the
+                       escalation ladder must contain every one;
+``errant_write``       after scheduled builds, store into runtime-owned
+                       memory (fragment body, exit stub, IBL range,
+                       scratch — rotating) through the real memory
+                       write path, so the shield's watcher detects,
+                       attributes, and recovers;
+``livelock``           delete each freshly built fragment before it can
+                       execute, re-translating the same tag forever —
+                       the forward-progress watchdog must break the
+                       loop (flush, then detach to native).
 """
 
 import random
@@ -40,6 +60,7 @@ from repro.api.client import Client
 from repro.api.dr import dr_detach, dr_replace_fragment
 from repro.ir.instr import Instr, LabelRef
 from repro.isa.opcodes import Opcode
+from repro.resilience.shield import RUNTIME_SITES
 
 FAULT_KINDS = (
     "raise_in_hook",
@@ -52,6 +73,11 @@ FAULT_KINDS = (
     "reattach",
     "mid_fragment_signal",
 )
+
+# Runtime-targeted kinds (the chaos --runtime matrix).
+RUNTIME_FAULT_KINDS = tuple(
+    "runtime_raise:%s" % site for site in RUNTIME_SITES
+) + ("errant_write", "livelock")
 
 # Native excursion length for the ``reattach`` fault: short enough that
 # every chaos workload has that much left to run after the first hook.
@@ -96,6 +122,58 @@ class FaultPlan:
 
     def __repr__(self):
         return "<FaultPlan %s seed=%d start=%d period=%d>" % (
+            self.kind,
+            self.seed,
+            self.start,
+            self.period,
+        )
+
+
+class RuntimeFaultPlan:
+    """Seeded schedule of *runtime* chokepoint invocations that fault.
+
+    ``kind`` is one of :data:`RUNTIME_FAULT_KINDS`.  For
+    ``runtime_raise:<site>`` kinds, ``site`` names the targeted
+    chokepoint and :meth:`fires` is consulted against that site's
+    per-site call counter; for ``errant_write``/``livelock`` it is
+    consulted against the successful-build counter.  Chokepoint
+    invocation counts are a deterministic property of the dispatcher
+    (identical across the tuple/closure/chain engines), so one plan
+    fires at the same logical points everywhere.
+
+    ``livelock`` fires on *every* build past ``start`` — a periodic
+    schedule would let non-firing builds execute and reset the
+    watchdog, which is starvation, not livelock.
+
+    ``start``/``period`` may be pinned explicitly (tests); by default
+    they are drawn from the seed like :class:`FaultPlan`.
+    """
+
+    def __init__(self, kind, seed, start=None, period=None):
+        if kind not in RUNTIME_FAULT_KINDS:
+            raise ValueError("unknown runtime fault kind %r" % (kind,))
+        self.kind = kind
+        self.seed = seed
+        self.site = (
+            kind.split(":", 1)[1] if kind.startswith("runtime_raise:") else None
+        )
+        rng = random.Random("%s:%d" % (kind, seed))
+        self.start = rng.randint(1, 3) if start is None else start
+        self.period = rng.randint(1, 3) if period is None else period
+        # Victim rotation for errant_write draws from its own stream so
+        # firing arithmetic stays independent of victim choice.
+        self.victim_rng = random.Random("victim:%s:%d" % (kind, seed))
+
+    def fires(self, call_index):
+        if self.kind == "livelock":
+            return call_index >= self.start
+        return (
+            call_index >= self.start
+            and (call_index - self.start) % self.period == 0
+        )
+
+    def __repr__(self):
+        return "<RuntimeFaultPlan %s seed=%d start=%d period=%d>" % (
             self.kind,
             self.seed,
             self.start,

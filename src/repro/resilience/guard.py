@@ -48,6 +48,7 @@ from repro.observe.events import (
     EV_CLIENT_QUARANTINED,
     EV_FRAGMENT_BAILOUT,
 )
+from repro.resilience.shield import InjectedRuntimeFault
 
 
 class ClientHalt(Exception):
@@ -63,9 +64,23 @@ class HookBudgetExceeded(Exception):
     """A client hook exceeded ``options.client_hook_budget``."""
 
 
-# Exceptions the guard must never swallow: deliberate client halts and
-# the runtime's own control-flow exceptions.
-_PASSTHROUGH = (ClientHalt, ProgramExit, ThreadExit, CacheExit)
+# Exceptions the client guard must never swallow: deliberate client
+# halts, the runtime's own control-flow exceptions, and planted
+# *runtime* faults (the RuntimeGuard's ladder owns those — a client
+# guard that caught one would misattribute an internal fault to the
+# client).
+_PASSTHROUGH = (
+    ClientHalt,
+    ProgramExit,
+    ThreadExit,
+    CacheExit,
+    InjectedRuntimeFault,
+)
+
+# Exceptions the *runtime* chokepoint wrappers let through: control
+# flow only.  InjectedRuntimeFault is deliberately absent — planted
+# runtime faults are exactly what the escalation ladder must catch.
+RUNTIME_PASSTHROUGH = (ClientHalt, ProgramExit, ThreadExit, CacheExit)
 
 
 class ClientGuard:

@@ -17,6 +17,15 @@ verification, and asserts the robustness contract:
 * the expected resilience events actually fired (the fault was
   *exercised*, not dodged).
 
+``--runtime`` switches to the drshield matrix: no client at all, the
+faults target the *runtime's own* chokepoints (``runtime_raise:<site>``)
+or plant errant stores / livelock (see
+:class:`~repro.resilience.faultinject.RuntimeFaultPlan`).  The oracle
+additionally asserts that the event stream replays exactly onto the
+live stats and that the escalation ladder's events (``shield_fault``,
+``subsystem_disabled``, ``watchdog_trip``) are *identical* across the
+tuple, closure, and chain engines for every cell.
+
 Exit status is non-zero if any run violates the contract.
 """
 
@@ -28,7 +37,14 @@ from repro.isa.registers import Reg
 from repro.loader import Process
 from repro.machine.interp import run_native
 from repro.minicc import compile_source
-from repro.resilience.faultinject import FAULT_KINDS, FaultInjectingClient, FaultPlan
+from repro.observe.events import replay_stats
+from repro.resilience.faultinject import (
+    FAULT_KINDS,
+    RUNTIME_FAULT_KINDS,
+    FaultInjectingClient,
+    FaultPlan,
+    RuntimeFaultPlan,
+)
 from repro.tools.run import CLIENTS
 
 # ------------------------------------------------------------------ workloads
@@ -190,6 +206,144 @@ EXPECTED_EVENTS = {
 DETACH_KINDS = ("detach", "reattach", "mid_fragment_signal")
 
 
+# ------------------------------------------------- drshield matrix (--runtime)
+
+RUNTIME_ENGINES = ("tuple", "closure", "chain")
+
+# Escalation-ladder event kinds that must be byte-identical across the
+# three engines for every (fault, workload, seed) cell.
+LADDER_EVENT_KINDS = ("shield_fault", "subsystem_disabled", "watchdog_trip")
+
+# Kinds whose chokepoint only runs under cache pressure: give them a
+# small cache so evict/unlink are actually invoked in every workload.
+PRESSURE_KINDS = ("runtime_raise:evict", "runtime_raise:unlink")
+
+
+def runtime_fault_workloads(matrix):
+    if matrix == "small":
+        return ("loop", "indirect")
+    return ("loop", "indirect", "signal")
+
+
+def runtime_engines(fault_kind):
+    # The chain chokepoint only exists on the chain engine.
+    if fault_kind == "runtime_raise:chain":
+        return ("chain",)
+    return RUNTIME_ENGINES
+
+
+def runtime_options(fault_kind, engine):
+    options = RuntimeOptions.with_traces()
+    options.shield = True
+    options.trace_events = True
+    options.trace_buffer = None
+    options.precise_interrupts = True
+    options.trace_threshold = 3
+    options.closure_engine = engine != "tuple"
+    options.chain_engine = engine == "chain"
+    options.chain_threshold = 3
+    if fault_kind in PRESSURE_KINDS:
+        options.code_cache_limit = 256
+    if fault_kind == "runtime_raise:evict":
+        options.cache_evict_policy = "fifo"
+    return options
+
+
+def run_runtime_one(image, fault_kind, seed, engine):
+    """One drshield run; returns (ok, detail, ladder_event_stream)."""
+    native = run_native(Process(image))
+    runtime = DynamoRIO(
+        Process(image), options=runtime_options(fault_kind, engine)
+    )
+    # Trace finalization only runs a handful of times in these short
+    # workloads, so the plan must start at the first one to be
+    # guaranteed to fire; the period still varies with the seed.
+    start = 1 if fault_kind == "runtime_raise:trace" else None
+    runtime.rguard.plan = RuntimeFaultPlan(fault_kind, seed, start=start)
+    try:
+        result = runtime.run()
+    except Exception as exc:  # contract: nothing escapes the ladder
+        return False, "crashed: %s: %s" % (type(exc).__name__, exc), None
+
+    problems = []
+    if result.output != native.output:
+        problems.append(
+            "output diverged (%r != native %r)"
+            % (result.output[:32], native.output[:32])
+        )
+    if result.exit_code != native.exit_code:
+        problems.append(
+            "exit code diverged (%s != native %s)"
+            % (result.exit_code, native.exit_code)
+        )
+    if runtime.rguard.injected == 0:
+        problems.append("runtime fault plan never fired")
+    stats = runtime.stats.as_dict()
+    if replay_stats(runtime.observer.events()) != stats:
+        problems.append("event stream does not replay onto live stats")
+    if fault_kind == "livelock":
+        # Livelock produces no internal exception, so no shield_fault;
+        # the watchdog must have broken the loop instead.
+        if not stats["watchdog_trips"]:
+            problems.append("livelock never tripped the watchdog")
+    elif not stats["shield_faults"]:
+        problems.append("fault injected but no shield_fault recorded")
+    ladder = [
+        (ev.kind, ev.tag, ev.data)
+        for ev in runtime.observer.events()
+        if ev.kind in LADDER_EVENT_KINDS
+    ]
+    if problems:
+        return False, "; ".join(problems), ladder
+    return True, "ok (%d injected, %d shield faults, %d ladder events)" % (
+        runtime.rguard.injected,
+        stats["shield_faults"],
+        len(ladder),
+    ), ladder
+
+
+def run_runtime_matrix(args, images):
+    kinds = (args.fault,) if args.fault else RUNTIME_FAULT_KINDS
+    runs = failures = 0
+    for fault_kind in kinds:
+        for workload in runtime_fault_workloads(args.matrix):
+            for seed in range(args.seeds):
+                streams = []
+                for engine in runtime_engines(fault_kind):
+                    runs += 1
+                    ok, detail, ladder = run_runtime_one(
+                        images[workload], fault_kind, seed, engine
+                    )
+                    label = "%-22s %-8s seed=%d %-7s" % (
+                        fault_kind, workload, seed, engine,
+                    )
+                    if not ok:
+                        failures += 1
+                        print("FAIL %s: %s" % (label, detail))
+                    elif args.verbose:
+                        print("ok   %s: %s" % (label, detail))
+                    if ok and ladder is not None:
+                        streams.append((engine, ladder))
+                # The ladder is part of the simulated result: every
+                # engine must have climbed exactly the same rungs.
+                for engine, ladder in streams[1:]:
+                    if ladder != streams[0][1]:
+                        failures += 1
+                        print(
+                            "FAIL %-22s %-8s seed=%d: ladder events "
+                            "diverge between %s and %s engines"
+                            % (
+                                fault_kind, workload, seed,
+                                streams[0][0], engine,
+                            )
+                        )
+    print(
+        "chaos --runtime: %d runs, %d failures (%s matrix, %d seeds)"
+        % (runs, failures, args.matrix, args.seeds)
+    )
+    return 1 if failures else 0
+
+
 def run_one(image, client_name, fault_kind, seed, closure_engine=True):
     """One chaos run; returns (ok, detail_string, result)."""
     native = run_native(Process(image))
@@ -280,12 +434,29 @@ def main(argv=None):
         help="small: 3 clients, 2 workloads/fault; full: 5 clients, both engines",
     )
     parser.add_argument(
-        "--fault", choices=FAULT_KINDS, help="restrict to one fault kind"
+        "--fault",
+        choices=FAULT_KINDS + RUNTIME_FAULT_KINDS,
+        help="restrict to one fault kind",
+    )
+    parser.add_argument(
+        "--runtime", action="store_true",
+        help="run the drshield runtime-fault matrix (no client; faults "
+        "target the runtime's own chokepoints) instead of the client matrix",
     )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
+    if args.fault:
+        pool = RUNTIME_FAULT_KINDS if args.runtime else FAULT_KINDS
+        if args.fault not in pool:
+            parser.error(
+                "--fault %s does not belong to the %s matrix"
+                % (args.fault, "runtime" if args.runtime else "client")
+            )
+
     images = workload_images()
+    if args.runtime:
+        return run_runtime_matrix(args, images)
     clients = SMALL_CLIENTS if args.matrix == "small" else FULL_CLIENTS
     engines = (True,) if args.matrix == "small" else (True, False)
     kinds = (args.fault,) if args.fault else FAULT_KINDS

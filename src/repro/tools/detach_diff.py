@@ -15,7 +15,11 @@ mid-fragment, from inside cache execution.  The contract:
   resumes translated execution after a native excursion and must also
   re-attach successfully (fragments rebuilt, stats replay-exact);
 * the ``signal`` workload variant detaches with an alarm pending, so
-  the deadline must carry across the transition and deliver natively.
+  the deadline must carry across the transition and deliver natively;
+* the ``shield`` cells detach via the drshield escalation ladder
+  instead of a client call: every basic-block build faults, so the
+  ladder burns its retry and flush rungs on the very first block and
+  must fail over to native — still byte-identical.
 
 Exit status is non-zero if any cell diverges.
 """
@@ -30,6 +34,7 @@ from repro.core import DynamoRIO, RuntimeOptions
 from repro.loader import Process
 from repro.machine.interp import run_native
 from repro.observe.events import replay_stats
+from repro.resilience.faultinject import RuntimeFaultPlan
 from repro.tools.chaos import workload_images
 from repro.workloads import load_benchmark
 
@@ -103,6 +108,57 @@ def run_cell(image, native, engine, mode, at, reattach_after):
     return True, "ok (detached at call %d)" % at
 
 
+def run_shield_cell(image, native, engine):
+    """Shield-triggered detach: no client at all — a runtime fault plan
+    makes every basic-block build raise, so one ``_guarded_build``
+    climbs retry → flush → detach and the program finishes natively."""
+    options = RuntimeOptions(
+        closure_engine=engine != "tuple",
+        chain_engine=engine == "chain",
+        chain_threshold=3,
+        precise_interrupts=True,
+        trace_events=True,
+        trace_buffer=None,
+        shield=True,
+    )
+    runtime = DynamoRIO(Process(image), options=options)
+    runtime.rguard.plan = RuntimeFaultPlan(
+        "runtime_raise:bb_build", 0, start=1, period=1
+    )
+    try:
+        result = runtime.run()
+    except Exception as exc:
+        return False, "crashed: %s: %s" % (type(exc).__name__, exc)
+
+    problems = []
+    if result.output != native.output:
+        problems.append(
+            "output diverged (%r != native %r)"
+            % (result.output[:32], native.output[:32])
+        )
+    if result.exit_code != native.exit_code:
+        problems.append(
+            "exit code diverged (%s != native %s)"
+            % (result.exit_code, native.exit_code)
+        )
+    if not runtime.detached:
+        problems.append("shield ladder never detached")
+    if runtime.stats.detaches != 1:
+        problems.append("detached %d times" % runtime.stats.detaches)
+    if runtime.stats.shield_faults != 3:
+        problems.append(
+            "%d shield faults (expected the ladder's 3)"
+            % runtime.stats.shield_faults
+        )
+    if replay_stats(runtime.observer.events()) != runtime.stats.as_dict():
+        problems.append("event stream does not replay to live stats")
+    if problems:
+        return False, "; ".join(problems)
+    return True, "ok (ladder detached after %d faults)" % (
+        runtime.stats.shield_faults
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -131,7 +187,8 @@ def main(argv=None):
     # Pending-signal variant: the chaos signal workload arms alarms, so
     # detaching early leaves a deadline pending across the transition.
     # Small program — detach at the third call, short native window.
-    cells.append(("signal", workload_images()["signal"], 3, 300))
+    signal_image = workload_images()["signal"]
+    cells.append(("signal", signal_image, 3, 300))
 
     modes = args.modes.split(",")
     runs = failures = 0
@@ -150,6 +207,18 @@ def main(argv=None):
                     print("FAIL %s: %s" % (label, detail))
                 elif args.verbose:
                     print("ok   %s: %s" % (label, detail))
+    # Shield-triggered detach: the failsafe ladder, not a client, pulls
+    # the plug — same native-identity contract as every other cell.
+    shield_native = run_native(Process(signal_image))
+    for engine in ENGINES:
+        runs += 1
+        ok, detail = run_shield_cell(signal_image, shield_native, engine)
+        label = "%-8s %-7s %-8s" % ("signal", engine, "shield")
+        if not ok:
+            failures += 1
+            print("FAIL %s: %s" % (label, detail))
+        elif args.verbose:
+            print("ok   %s: %s" % (label, detail))
     print(
         "detach diff: %d runs, %d failures (%.1fs)"
         % (runs, failures, time.perf_counter() - start)

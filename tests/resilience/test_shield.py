@@ -1,0 +1,347 @@
+"""drshield: runtime self-protection and the failsafe escalation ladder.
+
+The contract under ``options.shield``:
+
+* errant application stores into runtime-owned memory (code cache,
+  exit stubs, IBL tables, runtime scratch) are trapped, attributed to
+  a faulting application PC, and recovered by invalidating only the
+  clobbered unit — output stays byte-identical to native;
+* legitimate SMC into *application* code is not the shield's business:
+  it keeps flowing through the cache-consistency path;
+* internal faults at the runtime's chokepoints climb the ladder
+  (retry → discard → flush → disable the faulting subsystem → detach
+  to native) and never escape as a traceback;
+* the forward-progress watchdog breaks translate/flush livelock;
+* ladder events replay exactly onto the live stats and are identical
+  across the tuple, closure, and chain engines;
+* with the shield off, runs are bit-identical to pre-shield behavior.
+"""
+
+import pytest
+
+from repro.core import DynamoRIO, RuntimeOptions
+from repro.loader import Process
+from repro.machine.interp import run_native
+from repro.machine.memory import MachineFault, Memory
+from repro.observe.events import replay_stats
+from repro.resilience import RuntimeGuard, Shield
+from repro.resilience.faultinject import RUNTIME_FAULT_KINDS, RuntimeFaultPlan
+from repro.tools.chaos import build_smc_image
+
+from tests.conftest import run_under
+
+ENGINES = ("tuple", "closure", "chain")
+
+
+def _shield_options(engine="closure", **overrides):
+    options = RuntimeOptions.with_traces()
+    options.shield = True
+    options.trace_events = True
+    options.trace_buffer = None
+    options.precise_interrupts = True
+    options.trace_threshold = 3
+    options.closure_engine = engine != "tuple"
+    options.chain_engine = engine == "chain"
+    options.chain_threshold = 3
+    for key, value in overrides.items():
+        setattr(options, key, value)
+    return options
+
+
+def _run_with_plan(image, kind, seed=0, engine="closure", start=None,
+                   period=None, **overrides):
+    runtime = DynamoRIO(
+        Process(image), options=_shield_options(engine, **overrides)
+    )
+    runtime.rguard.plan = RuntimeFaultPlan(
+        kind, seed, start=start, period=period
+    )
+    result = runtime.run()
+    return runtime, result
+
+
+def _ladder_stream(runtime):
+    return [
+        (ev.kind, ev.tag, ev.data)
+        for ev in runtime.observer.events()
+        if ev.kind in ("shield_fault", "subsystem_disabled", "watchdog_trip")
+    ]
+
+
+# ------------------------------------------------------------- errant writes
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_errant_write_fuzz_recovers_bit_identical(
+    loop_image, loop_native, engine, seed
+):
+    """Seeded errant stores into cache/stub/IBL/scratch: every one is
+    trapped, attributed, recovered — and the program's output is still
+    byte-identical to native."""
+    runtime, result = _run_with_plan(
+        loop_image, "errant_write", seed=seed, engine=engine
+    )
+    assert result.output == loop_native.output
+    assert result.exit_code == loop_native.exit_code
+    assert runtime.rguard.injected >= 1
+    assert runtime.stats.shield_faults >= 1
+    faults = [
+        ev for ev in runtime.observer.events() if ev.kind == "shield_fault"
+    ]
+    for ev in faults:
+        assert ev.data["kind"] == "errant_write"
+        assert ev.data["region"] in ("code_cache", "runtime_heap")
+        assert ev.data["owner"] in (
+            "fragment", "stub", "unit", "cache", "ibl", "scratch"
+        )
+        # Attribution: the faulting *application* PC, not a cache address.
+        assert isinstance(ev.data["pc"], int)
+    assert replay_stats(runtime.observer.events()) == runtime.stats.as_dict()
+
+
+def test_errant_write_ladder_identical_across_engines(loop_image):
+    streams = []
+    for engine in ENGINES:
+        runtime, _ = _run_with_plan(
+            loop_image, "errant_write", seed=1, engine=engine
+        )
+        streams.append(_ladder_stream(runtime))
+    assert streams[0] == streams[1] == streams[2]
+    assert streams[0]  # the plan actually fired
+
+
+def test_errant_write_invalidates_only_the_clobbered_unit(
+    loop_image, monkeypatch
+):
+    """Surgical recovery: a store into one cache unit flushes that unit
+    and leaves everything else untouched."""
+    flushed = []
+    orig = DynamoRIO._flush_cache
+
+    def spy(self, cache, thread=None):
+        flushed.append(cache.name)
+        return orig(self, cache, thread=thread)
+
+    monkeypatch.setattr(DynamoRIO, "_flush_cache", spy)
+    runtime, result = _run_with_plan(
+        loop_image, "errant_write", seed=0, engine="closure"
+    )
+    hits = [
+        ev.data for ev in runtime.observer.events()
+        if ev.kind == "shield_fault" and ev.data["owner"] in
+        ("fragment", "stub", "unit")
+    ]
+    assert hits, "no store landed in a cache unit for this seed"
+    # Recovery flushed exactly the clobbered units — no detach, no
+    # whole-cache teardown, and IBL/scratch hits flushed nothing.
+    assert set(flushed) == {h["unit"] for h in hits}
+    assert not runtime.detached
+
+
+def test_smc_still_flows_through_cache_consistency():
+    """A legitimate store into *application* code is SMC, not an errant
+    write: the consistency path invalidates, the shield stays silent."""
+    image = build_smc_image()
+    native = run_native(Process(image))
+    runtime, result = run_under(
+        image, options=_shield_options(cache_consistency=True)
+    )
+    assert result.output == native.output
+    assert result.exit_code == native.exit_code
+    assert runtime.stats.smc_invalidations >= 1
+    assert runtime.stats.shield_faults == 0
+    assert runtime.shield.errant_faults == 0
+
+
+# ------------------------------------------------------ escalation ladder
+
+
+def test_persistent_build_fault_climbs_to_detach(loop_image, loop_native):
+    """Every bb build raises: retry, flush+retry, then the ladder's
+    last rung — a full detach — and the program finishes natively."""
+    runtime, result = _run_with_plan(
+        loop_image, "runtime_raise:bb_build", start=1, period=1
+    )
+    assert result.output == loop_native.output
+    assert result.exit_code == loop_native.exit_code
+    assert runtime.detached
+    assert runtime.stats.detaches == 1
+    assert runtime.stats.shield_faults == 3
+    sites = [entry["site"] for entry in runtime.rguard.fault_log]
+    assert sites == ["bb_build"] * 3
+
+
+def test_transient_build_fault_recovers_by_retry(loop_image, loop_native):
+    """One isolated build fault: the first rung (retry) absorbs it and
+    the run never detaches or disables anything."""
+    runtime, result = _run_with_plan(
+        loop_image, "runtime_raise:bb_build", start=2, period=10**9
+    )
+    assert result.output == loop_native.output
+    assert not runtime.detached
+    assert runtime.stats.shield_faults == 1
+    assert runtime.stats.subsystems_disabled == 0
+
+
+def test_link_faults_disable_direct_linking(loop_image, loop_native):
+    runtime, result = _run_with_plan(
+        loop_image, "runtime_raise:link", start=1, period=1
+    )
+    assert result.output == loop_native.output
+    assert "direct_linking" in runtime.rguard.disabled
+    assert not runtime.options.link_direct
+    assert runtime.stats.subsystems_disabled == 1
+    disabled = [
+        ev.data for ev in runtime.observer.events()
+        if ev.kind == "subsystem_disabled"
+    ]
+    assert disabled == [
+        {"subsystem": "direct_linking", "site": "link", "faults": 2}
+    ]
+
+
+def test_trace_faults_disable_traces(loop_image, loop_native):
+    runtime, result = _run_with_plan(
+        loop_image, "runtime_raise:trace", start=1, period=1
+    )
+    assert result.output == loop_native.output
+    if "traces" in runtime.rguard.disabled:
+        assert not runtime.options.traces
+        # Disabled mid-run: no trace may have been finalized after that.
+        assert runtime.stats.subsystems_disabled >= 1
+    # Either way every fault was contained.
+    assert runtime.stats.shield_faults == len(runtime.rguard.fault_log)
+
+
+def test_chain_faults_disable_chains(loop_image, loop_native):
+    runtime, result = _run_with_plan(
+        loop_image, "runtime_raise:chain", start=1, period=1, engine="chain"
+    )
+    assert result.output == loop_native.output
+    assert "chains" in runtime.rguard.disabled
+    assert runtime.chains is None
+    assert not runtime.options.chain_engine
+
+
+def test_evict_faults_disable_fifo_eviction(loop_image, loop_native):
+    runtime, result = _run_with_plan(
+        loop_image, "runtime_raise:evict", start=1, period=1,
+        code_cache_limit=256, cache_evict_policy="fifo",
+    )
+    assert result.output == loop_native.output
+    assert "fifo_eviction" in runtime.rguard.disabled
+    assert runtime.options.cache_evict_policy == "flush"
+
+
+@pytest.mark.parametrize(
+    "kind", [k for k in RUNTIME_FAULT_KINDS if k != "runtime_raise:chain"]
+)
+def test_every_fault_kind_contained_on_every_engine(
+    indirect_image, indirect_native, kind
+):
+    """No seeded runtime fault, on any engine, escapes the ladder or
+    perturbs the application."""
+    for engine in ENGINES:
+        runtime, result = _run_with_plan(
+            indirect_image, kind, seed=0, engine=engine, start=1,
+            code_cache_limit=(
+                256 if kind in
+                ("runtime_raise:evict", "runtime_raise:unlink") else None
+            ),
+            cache_evict_policy=(
+                "fifo" if kind == "runtime_raise:evict" else "flush"
+            ),
+        )
+        assert result.output == indirect_native.output, (kind, engine)
+        assert result.exit_code == indirect_native.exit_code, (kind, engine)
+        assert runtime.rguard.injected >= 1, (kind, engine)
+        assert (
+            replay_stats(runtime.observer.events())
+            == runtime.stats.as_dict()
+        ), (kind, engine)
+
+
+# ------------------------------------------------------------- watchdog
+
+
+def test_livelock_trips_watchdog_then_detaches(loop_image, loop_native):
+    runtime, result = _run_with_plan(loop_image, "livelock", start=1)
+    assert result.output == loop_native.output
+    assert result.exit_code == loop_native.exit_code
+    assert runtime.stats.watchdog_trips == 2
+    assert runtime.detached
+    trips = [
+        ev.data for ev in runtime.observer.events()
+        if ev.kind == "watchdog_trip"
+    ]
+    assert [t["trip"] for t in trips] == [1, 2]
+    assert all(
+        t["builds"] > runtime.options.shield_watchdog_limit for t in trips
+    )
+
+
+def test_watchdog_quiet_on_clean_run(loop_image):
+    runtime, _ = run_under(loop_image, options=_shield_options())
+    assert runtime.stats.watchdog_trips == 0
+    # Tags built but not yet re-executed may hold a count of 1; none
+    # may ever approach the trip threshold on a clean run.
+    assert all(
+        count <= 1
+        for count in runtime.shield._builds_since_progress.values()
+    )
+
+
+# ------------------------------------------------------------ transparency
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_shield_off_and_on_bit_identical_when_clean(loop_image, engine):
+    """A clean program can't tell the shield exists: cycles,
+    instructions, output, and the full event stream are identical with
+    it on or off."""
+    def run(shield):
+        return run_under(
+            loop_image, options=_shield_options(engine, shield=shield)
+        )
+
+    rt_off, res_off = run(False)
+    rt_on, res_on = run(True)
+    assert res_on.cycles == res_off.cycles
+    assert res_on.instructions == res_off.instructions
+    assert res_on.output == res_off.output
+    assert res_on.exit_code == res_off.exit_code
+    streams = [
+        [(e.kind, e.tag, e.data) for e in rt.observer.events()]
+        for rt in (rt_off, rt_on)
+    ]
+    assert streams[0] == streams[1]
+    assert rt_off.shield is None and rt_off.rguard is None
+    assert isinstance(rt_on.shield, Shield)
+    assert isinstance(rt_on.rguard, RuntimeGuard)
+    assert rt_on.stats.shield_faults == 0
+
+
+# -------------------------------------------------------- fault messages
+
+
+def test_memory_faults_name_region_and_app_pc():
+    mem = Memory(size=0x1000)
+    mem.add_region("code", 0x100, 0x100, writable=False)
+    mem.set_protection(True)
+    mem.set_fault_context(lambda: 0x2040)
+    with pytest.raises(MachineFault) as exc:
+        mem.write_u32(0x110, 1)
+    message = str(exc.value)
+    assert "read-only region code" in message
+    assert "app pc 0x2040" in message
+    with pytest.raises(MachineFault) as exc:
+        mem.read_u32(0xFFFF_FFF0)
+    assert "app pc 0x2040" in str(exc.value)
+
+
+def test_memory_faults_omit_context_when_unset():
+    mem = Memory(size=0x1000)
+    with pytest.raises(MachineFault) as exc:
+        mem.read_u32(0x2000)
+    assert "app pc" not in str(exc.value)
